@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the PIM-BLAS entry points: full functional
+//! kernels (layout + choreography + lock-step execution + readback) on the
+//! one-stack test system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pim_runtime::{PimBlas, PimContext};
+
+fn bench_blas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pim_blas");
+    g.sample_size(10);
+
+    let n = 64 * 1024;
+    let x: Vec<f32> = (0..n).map(|i| (i % 100) as f32).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i % 50) as f32).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("add_64k", |bench| {
+        bench.iter_batched(
+            PimContext::small_system,
+            |mut ctx| PimBlas::add(&mut ctx, &x, &y).unwrap().1.cycles,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("relu_64k", |bench| {
+        bench.iter_batched(
+            PimContext::small_system,
+            |mut ctx| PimBlas::relu(&mut ctx, &x).unwrap().1.cycles,
+            BatchSize::SmallInput,
+        )
+    });
+
+    let (gn, gk) = (256, 256);
+    let w: Vec<f32> = (0..gn * gk).map(|i| ((i % 17) as f32 - 8.0) / 16.0).collect();
+    let gx: Vec<f32> = (0..gk).map(|i| (i % 5) as f32).collect();
+    g.throughput(Throughput::Elements((gn * gk) as u64));
+    g.bench_function("gemv_256x256", |bench| {
+        bench.iter_batched(
+            PimContext::small_system,
+            |mut ctx| PimBlas::gemv(&mut ctx, &w, gn, gk, &gx).unwrap().1.cycles,
+            BatchSize::SmallInput,
+        )
+    });
+    // SLS: random gathers are ACT/PRE bound — the RM kernel's signature.
+    let rows = 512;
+    let dim = 64;
+    let table: Vec<f32> = (0..rows * dim).map(|i| (i % 7) as f32).collect();
+    let indices: Vec<u32> = (0..64).map(|i| (i * 193 % rows) as u32).collect();
+    g.throughput(Throughput::Elements(indices.len() as u64));
+    g.bench_function("sls_64_lookups", |bench| {
+        bench.iter_batched(
+            PimContext::small_system,
+            |mut ctx| PimBlas::sls(&mut ctx, &table, rows, dim, &indices).unwrap().1.cycles,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blas);
+criterion_main!(benches);

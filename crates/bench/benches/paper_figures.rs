@@ -1,0 +1,73 @@
+//! Criterion targets regenerating each *figure* of the paper's evaluation
+//! (5, 10, 11, 12, 13, 14 and the no-fence study): one benchmark per
+//! figure, timing the full experiment and sanity-checking its headline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig5_aam_ordering", |b| {
+        b.iter(|| {
+            let r = experiments::fig5_aam_demo();
+            assert_eq!(r.fenced_reordered_err, 0.0);
+            assert!(r.unfenced_reordered_err > 0.0);
+            r
+        })
+    });
+
+    g.bench_function("fig10_relative_performance", |b| {
+        b.iter(|| {
+            let rows = experiments::fig10();
+            assert_eq!(rows.len(), 3 * 13);
+            rows
+        })
+    });
+
+    g.bench_function("fig11_power_breakdown", |b| {
+        b.iter(|| {
+            let f = experiments::fig11();
+            assert!(f.power_ratio < 1.1);
+            f
+        })
+    });
+
+    g.bench_function("fig12_relative_energy", |b| {
+        b.iter(|| {
+            let rows = experiments::fig12();
+            assert_eq!(rows.len(), 5);
+            rows
+        })
+    });
+
+    g.bench_function("fig13_power_over_time", |b| {
+        b.iter(|| {
+            let (hbm, pim) = experiments::fig13(32);
+            assert_eq!((hbm.len(), pim.len()), (32, 32));
+            (hbm, pim)
+        })
+    });
+
+    g.bench_function("fig14_dse_variants", |b| {
+        b.iter(|| {
+            let (rows, geo) = experiments::fig14();
+            assert_eq!(geo.len(), 4);
+            (rows, geo)
+        })
+    });
+
+    g.bench_function("nofence_study", |b| {
+        b.iter(|| {
+            let gains = experiments::nofence();
+            assert_eq!(gains.len(), 3);
+            gains
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion targets regenerating each *table* of the paper (I–VI): one
+//! benchmark per table, timing the full data-generation path and asserting
+//! the headline values so `cargo bench` doubles as a reproduction check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+
+    g.bench_function("table1_mac_units", |b| {
+        b.iter(|| {
+            let t = experiments::table1();
+            assert_eq!(t.len(), 6);
+            t
+        })
+    });
+
+    g.bench_function("table2_operand_combinations", |b| {
+        b.iter(|| {
+            let t = experiments::table2();
+            assert_eq!(t.compute_total(), 114);
+            t
+        })
+    });
+
+    g.bench_function("table3_instruction_format", |b| {
+        b.iter(|| {
+            let t = experiments::table3();
+            assert_eq!(t.len(), 9);
+            t
+        })
+    });
+
+    g.bench_function("table4_unit_spec", |b| {
+        b.iter(|| {
+            let t = experiments::table4();
+            assert!(t.iter().any(|(_, v)| v.contains("9.6")));
+            t
+        })
+    });
+
+    g.bench_function("table5_device_spec", |b| {
+        b.iter(|| {
+            let t = experiments::table5();
+            assert!(t.iter().any(|(_, v)| v.contains("1228.8")));
+            t
+        })
+    });
+
+    g.bench_function("table6_workloads", |b| {
+        b.iter(|| {
+            let g = pim_bench::workloads::gemv_workloads();
+            let a = pim_bench::workloads::add_workloads();
+            assert_eq!((g.len(), a.len()), (4, 4));
+            (g, a)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Criterion benchmarks of the simulator substrate itself: how fast the
+//! reproduction executes DRAM commands, PIM triggers and FP16 arithmetic.
+//! These guard the simulator's own performance (a slow simulator makes the
+//! larger reproductions impractical).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pim_core::isa::{Instruction, Operand};
+use pim_core::{LaneVec, PimChannel, PimConfig, PimUnit, Trigger, TriggerKind};
+use pim_dram::{
+    BankAddr, Command, CommandSink, ControllerConfig, MemoryController, Request,
+    SchedulingPolicy, TimingParams,
+};
+use pim_fp16::F16;
+
+fn bench_fp16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fp16");
+    let a = F16::from_f32(1.2345);
+    let b = F16::from_f32(-0.5678);
+    let acc = F16::from_f32(10.0);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("mac", |bench| bench.iter(|| std::hint::black_box(a).mac(b, acc)));
+    g.bench_function("from_f32", |bench| {
+        bench.iter(|| F16::from_f32(std::hint::black_box(3.140_62_f32)))
+    });
+    g.bench_function("lane_vec_mac", |bench| {
+        let x = LaneVec::splat(a);
+        let y = LaneVec::splat(b);
+        let z = LaneVec::splat(acc);
+        bench.iter(|| std::hint::black_box(x).mac(y, z))
+    });
+    // The pure bit-level implementation, for comparison with the f32 path.
+    g.bench_function("softfloat_mul_bits", |bench| {
+        let (x, y) = (a.to_bits(), b.to_bits());
+        bench.iter(|| pim_fp16::softfloat::mul_bits(std::hint::black_box(x), y))
+    });
+    g.bench_function("softfloat_add_bits", |bench| {
+        let (x, y) = (a.to_bits(), acc.to_bits());
+        bench.iter(|| pim_fp16::softfloat::add_bits(std::hint::black_box(x), y))
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("channel_column_issue", |bench| {
+        bench.iter_batched(
+            || {
+                let mut ch = pim_dram::PseudoChannel::new(TimingParams::hbm2());
+                let bank = BankAddr::new(0, 0);
+                ch.issue(&Command::Act { bank, row: 0 }, 0).unwrap();
+                (ch, 100u64)
+            },
+            |(mut ch, mut now)| {
+                let cmd = Command::Rd { bank: BankAddr::new(0, 0), col: 0 };
+                for _ in 0..64 {
+                    let at = ch.earliest_issue(&cmd, now);
+                    ch.issue(&cmd, at).unwrap();
+                    now = at;
+                }
+                now
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("controller_frfcfs_mixed", |bench| {
+        bench.iter_batched(
+            || {
+                let mut ctrl = MemoryController::new(ControllerConfig {
+                    policy: SchedulingPolicy::FrFcfs,
+                    refresh_enabled: false,
+                    ..Default::default()
+                });
+                for i in 0..64u64 {
+                    ctrl.enqueue(Request::read((i % 8) * 4096 + (i / 8) * 32));
+                }
+                ctrl
+            },
+            |mut ctrl| ctrl.run_to_completion().len(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_pim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pim");
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("unit_mac_trigger", |bench| {
+        let mut unit = PimUnit::new();
+        unit.crf_mut().load_program(&[
+            Instruction::Mac {
+                dst: Operand::grf_b(0),
+                src0: Operand::even_bank(),
+                src1: Operand::srf_m(0),
+                aam: true,
+            },
+            Instruction::Jump { target: 0, count: 100_000 },
+            Instruction::Exit,
+        ]);
+        unit.reset_sequencer();
+        unit.srf_m_mut().write(0, F16::from_f32(0.5));
+        let trig = Trigger {
+            kind: TriggerKind::Read,
+            row: 0,
+            col: 3,
+            even_data: LaneVec::splat(F16::from_f32(2.0)),
+            odd_data: LaneVec::zero(),
+        };
+        bench.iter(|| unit.execute(std::hint::black_box(&trig)))
+    });
+    g.bench_function("channel_abpim_trigger_8units", |bench| {
+        bench.iter_batched(
+            || {
+                let mut ch = PimChannel::new(TimingParams::hbm2(), PimConfig::paper());
+                let bank = BankAddr::new(0, 0);
+                let mut now = 0;
+                for cmd in pim_core::conf::enter_ab_sequence() {
+                    let at = ch.earliest_issue(&cmd, now);
+                    ch.issue(&cmd, at).unwrap();
+                    now = at;
+                }
+                // Program an endless MAC loop and enter AB-PIM mode.
+                let prog = [
+                    Instruction::Mac {
+                        dst: Operand::grf_b(0),
+                        src0: Operand::even_bank(),
+                        src1: Operand::srf_m(0),
+                        aam: true,
+                    },
+                    Instruction::Jump { target: 0, count: 100_000 },
+                ];
+                let mut block = [0u8; 32];
+                for (i, ins) in prog.iter().enumerate() {
+                    block[i * 4..i * 4 + 4].copy_from_slice(&ins.encode().to_le_bytes());
+                }
+                for cmd in [
+                    Command::Act { bank, row: pim_core::conf::CRF_ROW },
+                    Command::Wr { bank, col: 0, data: block },
+                    Command::Pre { bank },
+                ] {
+                    let at = ch.earliest_issue(&cmd, now);
+                    ch.issue(&cmd, at).unwrap();
+                    now = at;
+                }
+                for cmd in pim_core::conf::set_pim_op_mode_sequence(true) {
+                    let at = ch.earliest_issue(&cmd, now);
+                    ch.issue(&cmd, at).unwrap();
+                    now = at;
+                }
+                let at = ch.earliest_issue(&Command::Act { bank, row: 0 }, now);
+                ch.issue(&Command::Act { bank, row: 0 }, at).unwrap();
+                (ch, at)
+            },
+            |(mut ch, mut now)| {
+                let bank = BankAddr::new(0, 0);
+                for col in 0..32u32 {
+                    let cmd = Command::Rd { bank, col };
+                    let at = ch.earliest_issue(&cmd, now);
+                    ch.issue(&cmd, at).unwrap();
+                    now = at;
+                }
+                now
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fp16, bench_dram, bench_pim);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The latency/throughput trade-off behind the paper's batch-1 focus:
+//! "a larger batch size gives more data reusability ... and increases
+//! throughput. Nonetheless, it also increases response time. Hence, we
+//! focus on ... batch size of 1 as we consider the target use of PIM-HBM
+//! systems for memory-bound, latency-sensitive applications such as
+//! commercial online services" (Section VII-A).
+use pim_bench::report::{format_table, time};
+use pim_energy::SystemPowerModel;
+use pim_models::{models, CostModel, ModelRunner, SystemKind};
+
+fn main() {
+    println!("DS2: latency vs throughput across batch sizes\n");
+    let mut cost = CostModel::paper();
+    let power = SystemPowerModel::paper();
+    let model = models::deepspeech2();
+    let mut rows = Vec::new();
+    for batch in [1usize, 2, 4, 8] {
+        let hbm = ModelRunner::run(&mut cost, &power, &model, SystemKind::ProcHbm, batch);
+        let pim = ModelRunner::run(&mut cost, &power, &model, SystemKind::PimHbm, batch);
+        rows.push(vec![
+            format!("B{batch}"),
+            time(hbm.total_seconds),
+            time(pim.total_seconds),
+            format!("{:.1}/s", batch as f64 / hbm.total_seconds),
+            format!("{:.1}/s", batch as f64 / pim.total_seconds),
+            format!("{:.2}x", pim.speedup_over(&hbm)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["batch", "HBM latency", "PIM latency", "HBM thru", "PIM thru", "PIM speedup"],
+            &rows
+        )
+    );
+    println!("PIM's advantage is a *latency* advantage: it peaks at batch 1, where");
+    println!("online services live; batching buys the host throughput instead.");
+}

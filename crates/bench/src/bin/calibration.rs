@@ -1,0 +1,62 @@
+//! Calibration probe: prints every headline number in one sweep.
+//! (kept as the tuning record for EXPERIMENTS.md)
+//! Calibration probe: raw numbers for every experiment knob.
+use pim_bench::micro::{add_micro, bn_micro, gemv_micro, geo_mean};
+use pim_bench::workloads;
+use pim_energy::SystemPowerModel;
+use pim_host::ExecutionMode;
+use pim_models::{models, CostModel, ModelRunner, SystemKind};
+
+fn main() {
+    let mut cost = CostModel::paper();
+    println!("== micro (fenced) ==");
+    for b in [1usize, 2, 4] {
+        let mut speedups = vec![];
+        for w in workloads::gemv_workloads() {
+            let r = gemv_micro(&mut cost, &w, b);
+            println!("{} B{b}: hbm={:.1}us pim={:.1}us speedup={:.2} miss={:.2}", w.name, r.hbm_s*1e6, r.pim_s*1e6, r.speedup(), r.llc_miss);
+            speedups.push(r.speedup());
+        }
+        for w in workloads::add_workloads() {
+            let r = add_micro(&mut cost, &w, b);
+            println!("{} B{b}: hbm={:.1}us pim={:.1}us speedup={:.2}", w.name, r.hbm_s*1e6, r.pim_s*1e6, r.speedup());
+            speedups.push(r.speedup());
+        }
+        println!("geo-mean B{b}: {:.2}", geo_mean(&speedups));
+    }
+    println!("== no-fence ratio ==");
+    let mut ordered = CostModel::paper();
+    ordered.mode = ExecutionMode::Ordered;
+    for b in [1usize, 2, 4] {
+        let mut ratios = vec![];
+        for w in workloads::gemv_workloads() {
+            let f = gemv_micro(&mut cost, &w, b);
+            let o = gemv_micro(&mut ordered, &w, b);
+            ratios.push(f.pim_s / o.pim_s);
+        }
+        for w in workloads::add_workloads() {
+            let f = add_micro(&mut cost, &w, b);
+            let o = add_micro(&mut ordered, &w, b);
+            ratios.push(f.pim_s / o.pim_s);
+        }
+        println!("B{b} no-fence gain geo-mean: {:.2}", geo_mean(&ratios));
+    }
+    println!("== BN ==");
+    for w in workloads::bn_workloads() {
+        let r = bn_micro(&mut cost, &w, 1);
+        println!("{}: speedup {:.2}", w.name, r.speedup());
+    }
+    println!("== apps ==");
+    let power = SystemPowerModel::paper();
+    for m in models::all_models() {
+        for b in [1usize, 2, 4] {
+            let hbm = ModelRunner::run(&mut cost, &power, &m, SystemKind::ProcHbm, b);
+            let pim = ModelRunner::run(&mut cost, &power, &m, SystemKind::PimHbm, b);
+            let x4 = ModelRunner::run(&mut cost, &power, &m, SystemKind::ProcHbmX4, b);
+            let e_h = hbm.energy_j(&power); let e_p = pim.energy_j(&power); let e_x = x4.energy_j(&power);
+            println!("{} B{b}: speedup={:.2} (hbm {:.1}ms pim {:.1}ms) eff_vs_hbm={:.2} eff_vs_x4={:.2} pimfrac={:.2}",
+                m.name, pim.speedup_over(&hbm), hbm.total_seconds*1e3, pim.total_seconds*1e3,
+                e_h/e_p, e_x/e_p, pim.pim_time_fraction());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Reproduces Fig. 11: the power breakdown of HBM vs PIM-HBM over
+//! back-to-back DRAM RD commands, plus the Section VII-C headlines.
+use pim_bench::report::format_table;
+use pim_energy::PowerComponent;
+
+fn main() {
+    println!("Fig. 11: per-pCH power breakdown over back-to-back column reads\n");
+    let f = pim_bench::experiments::fig11();
+    let mut rows = Vec::new();
+    for c in PowerComponent::ALL {
+        rows.push(vec![
+            c.label().to_string(),
+            format!("{:.3} W", f.bars[0].breakdown.get(c)),
+            format!("{:.3} W", f.bars[1].breakdown.get(c)),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        format!("{:.3} W", f.bars[0].breakdown.total()),
+        format!("{:.3} W", f.bars[1].breakdown.total()),
+    ]);
+    println!("{}", format_table(&["Component", "HBM", "PIM-HBM"], &rows));
+    println!("power ratio         = {:.3}   (paper: 1.054, '5.4% higher power')", f.power_ratio);
+    println!("on-chip bandwidth   = {:.1}x   (paper: 4x)", f.bandwidth_ratio);
+    println!("energy/bit ratio    = {:.2}x   (paper: ~3.5x lower energy per bit)", f.energy_per_bit_ratio);
+    println!("buffer-I/O gating   = {:.1}%   (paper: '~10% lower than HBM' if gated)", f.buffer_gating_saving * 100.0);
+}

@@ -1,0 +1,31 @@
+//! Reproduces Fig. 12: relative power and energy of PROC-HBM, PIM-HBM and
+//! PROC-HBMx4 for the microbenchmarks and applications.
+use pim_bench::report::format_table;
+
+fn main() {
+    println!("Fig. 12: relative power and energy (normalized to PROC-HBM)\n");
+    let rows = pim_bench::experiments::fig12();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.2}", r.rel_power[1]),
+                format!("{:.2}", r.rel_power[2]),
+                format!("{:.2}", r.rel_energy[1]),
+                format!("{:.2}", r.rel_energy[2]),
+                format!("{:.2}x", r.pim_efficiency_gain()),
+                format!("{:.2}x", r.pim_gain_over_x4()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Workload", "P(PIM)", "P(x4)", "E(PIM)", "E(x4)", "PIM eff vs HBM", "vs x4"],
+            &table
+        )
+    );
+    println!("paper= efficiency gains: GEMV 8.25x, ADD 1.4x, DS2 3.2x, GNMT 1.38x, AlexNet 1.5x;");
+    println!("       vs PROC-HBMx4: DS2 2.8x, GNMT 1.1x, AlexNet 1.3x.");
+}

@@ -1,0 +1,19 @@
+//! Reproduces Fig. 13: average system power of DS2 over time on the HBM
+//! and PIM-HBM systems (ASCII time series).
+fn main() {
+    println!("Fig. 13: average system power of DS2 over time\n");
+    let (hbm, pim) = pim_bench::experiments::fig13(40);
+    let render = |name: &str, series: &[(f64, f64)]| {
+        println!("{name}:");
+        for (t, w) in series {
+            let bars = (*w / 5.0).round() as usize;
+            println!("  {:>7.2} ms | {:<60} {:.0} W", t * 1e3, "#".repeat(bars.min(60)), w);
+        }
+        let avg: f64 = series.iter().map(|(_, w)| w).sum::<f64>() / series.len() as f64;
+        let end = series.last().map(|(t, _)| *t).unwrap_or(0.0);
+        println!("  average {avg:.0} W over {:.1} ms\n", end * 1e3);
+    };
+    render("PROC-HBM", &hbm);
+    render("PIM-HBM", &pim);
+    println!("paper= PIM-HBM finishes earlier AND at lower average power.");
+}

@@ -1,0 +1,20 @@
+//! Reproduces Fig. 14: the design-space-exploration variants
+//! (PIM-HBM-2x, -2BA, -SRW) over the microbenchmarks + BN.
+use pim_bench::report::format_table;
+
+fn main() {
+    println!("Fig. 14: DSE variants, speedup over the HBM baseline\n");
+    let (rows, geo) = pim_bench::experiments::fig14();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.variant.to_string(), r.workload.clone(), format!("{:.2}x", r.speedup)])
+        .collect();
+    println!("{}", format_table(&["Variant", "Workload", "Speedup"], &table));
+    println!("geometric means:");
+    let base = geo.iter().find(|(v, _)| *v == "PIM-HBM").map(|(_, g)| *g).unwrap();
+    for (v, g) in &geo {
+        println!("  {v:<14} {g:.2}x  ({:+.0}% vs base)", (g / base - 1.0) * 100.0);
+    }
+    println!("\npaper= 2x: ~+40% geo-mean (+24% die); 2BA: ~+20% (esp. ADD, +60% power);");
+    println!("       SRW: ~+10% (esp. GEMV +25%). See EXPERIMENTS.md for deviations.");
+}

@@ -1,0 +1,32 @@
+//! The paper's future work (Section VIII): HBM3-generation fine-grained
+//! SB/AB-PIM interleaving enabling host+PIM *collaborative* GEMV. This
+//! binary quantifies the opportunity with the calibrated cost models.
+use pim_bench::report::{format_table, time};
+use pim_models::capacity::collaborative_gemv;
+use pim_models::CostModel;
+
+fn main() {
+    println!("Collaborative GEMV (host + PIM on disjoint banks), 16384 x 4096\n");
+    let mut rows = Vec::new();
+    for host_speedup in [1.0f64, 2.0, 5.0, 10.0, 20.0] {
+        let mut cost = CostModel::paper();
+        let (share, combined, pim_only) = collaborative_gemv(&mut cost, 16384, 4096, host_speedup);
+        rows.push(vec![
+            format!("{host_speedup:.0}x"),
+            format!("{:.0}%", share * 100.0),
+            time(combined),
+            time(pim_only),
+            format!("{:.2}x", pim_only / combined),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["host GEMV quality", "best host share", "combined", "PIM alone", "gain"],
+            &rows
+        )
+    );
+    println!("With the paper-calibrated (unoptimized) host GEMV the best share is 0%:");
+    println!("PIM's pass-quantized time cannot be trimmed by a host that slow — the");
+    println!("quantified reason the paper leaves collaboration as future work.");
+}

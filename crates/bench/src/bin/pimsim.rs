@@ -1,0 +1,66 @@
+//! `pimsim` — a script-driven single-channel PIM-HBM simulator shell.
+//!
+//! Reads a script from the file named in the first argument (or stdin), executes it
+//! against a fresh paper-configuration channel, and prints the output.
+//! Run `pimsim --help` for the command language, or try the built-in demo
+//! with `pimsim --demo`. See `pim_runtime::script` for the full reference.
+use pim_runtime::ScriptSession;
+use std::io::Read;
+
+const DEMO: &str = r#"# pimsim demo: scale-by-2 microkernel on unit 0
+poke 0 0 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+mode ab
+program
+  MUL GRF_A[0], EVEN_BANK, SRF_M[0]
+  MOV EVEN_BANK, GRF_A[0]
+  EXIT
+end
+srf 2 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0
+pim on
+act 0
+rd 0
+rd 0
+pre
+pim off
+mode sb
+peek 0 0 0
+stats
+"#;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let source = match arg.as_deref() {
+        Some("--help") | Some("-h") => {
+            println!("usage: pimsim [SCRIPT.pim | --demo]   (stdin if omitted)\n");
+            println!("commands: mode ab|sb, pim on|off, program..end, srf, poke, peek,");
+            println!("          act, rd, wr, pre, prea, dump, stats, trace  (# comments)");
+            return;
+        }
+        Some("--demo") => {
+            println!("{DEMO}");
+            DEMO.to_string()
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("pimsim: cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s).expect("stdin");
+            s
+        }
+    };
+    let mut session = ScriptSession::new();
+    match session.run(&source) {
+        Ok(output) => {
+            for line in output {
+                println!("{line}");
+            }
+            println!("-- done at cycle {} in {} mode", session.now(), session.mode());
+        }
+        Err(e) => {
+            eprintln!("pimsim: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Runs every reproduction experiment in sequence and prints a one-page
+//! markdown summary — the quick way to regenerate EXPERIMENTS.md's
+//! measured column.
+use pim_bench::experiments as exp;
+use pim_bench::micro::geo_mean;
+
+fn main() {
+    println!("# PIM-HBM reproduction — full sweep\n");
+
+    let c = exp::table2();
+    println!("Table II: MUL {} ADD {} MAC {} MAD {} MOV {} (compute total {})",
+        c.mul, c.add, c.mac, c.mad, c.mov, c.compute_total());
+
+    let f5 = exp::fig5_aam_demo();
+    println!(
+        "Fig 5: fenced err={}, AAM-reordered err={}, unfenced err={} (must be >0)",
+        f5.fenced_in_order_err, f5.fenced_reordered_err, f5.unfenced_reordered_err
+    );
+
+    println!("\nFig 10 (relative perf, PIM/HBM):");
+    let rows = exp::fig10();
+    for batch in [1usize, 2, 4] {
+        let line: Vec<String> = rows
+            .iter()
+            .filter(|r| r.batch == batch)
+            .map(|r| format!("{} {:.2}x", r.name, r.relative_perf))
+            .collect();
+        println!("  B{batch}: {}", line.join(" | "));
+    }
+
+    let f11 = exp::fig11();
+    println!(
+        "\nFig 11: power ratio {:.3} at {:.0}x bandwidth; energy/bit {:.2}x; gating saves {:.0}%",
+        f11.power_ratio,
+        f11.bandwidth_ratio,
+        f11.energy_per_bit_ratio,
+        f11.buffer_gating_saving * 100.0
+    );
+
+    println!("\nFig 12 (energy efficiency of PIM-HBM):");
+    for r in exp::fig12() {
+        println!(
+            "  {:>8}: {:.2}x vs PROC-HBM, {:.2}x vs PROC-HBMx4",
+            r.name,
+            r.pim_efficiency_gain(),
+            r.pim_gain_over_x4()
+        );
+    }
+
+    let (hbm, pim) = exp::fig13(16);
+    let avg = |s: &[(f64, f64)]| s.iter().map(|(_, w)| w).sum::<f64>() / s.len() as f64;
+    println!(
+        "\nFig 13: DS2 runs {:.1}x faster on PIM at {:.0} W vs {:.0} W average",
+        hbm.last().unwrap().0 / pim.last().unwrap().0,
+        avg(&pim),
+        avg(&hbm)
+    );
+
+    let (_, geo) = exp::fig14();
+    let base = geo.iter().find(|(v, _)| *v == "PIM-HBM").unwrap().1;
+    let deltas: Vec<String> = geo
+        .iter()
+        .map(|(v, g)| format!("{v} {:+.0}%", (g / base - 1.0) * 100.0))
+        .collect();
+    println!("\nFig 14 (geo-mean vs base): {}", deltas.join(" | "));
+
+    let gains: Vec<f64> = exp::nofence().into_iter().map(|(_, g)| g).collect();
+    println!("No-fence gain: {:.2}x geo-mean across batches", geo_mean(&gains));
+
+    let err = exp::functional_spot_check();
+    println!("\nFunctional spot check (GEMV vs f32 reference): max |err| = {err:.4}");
+    println!("\nDone. See EXPERIMENTS.md for the paper-vs-measured record.");
+}

@@ -1,0 +1,18 @@
+//! Reproduces Table VI: the microbenchmark workload sizes.
+use pim_bench::report::format_table;
+use pim_bench::workloads;
+
+fn main() {
+    println!("Table VI: Microbenchmark\n");
+    let mut rows = Vec::new();
+    for (g, a) in workloads::gemv_workloads().iter().zip(workloads::add_workloads().iter()) {
+        rows.push(vec![
+            g.name.to_string(),
+            format!("{}k x {}k", g.n / 1024, g.k / 1024),
+            a.name.to_string(),
+            format!("{}M", a.elements >> 20),
+        ]);
+    }
+    println!("{}", format_table(&["Name", "GEMV Dim.", "Name", "ADD Dim."], &rows));
+    println!("paper= identical sizes (GEMV 1kx4k..8kx8k; ADD 2M..16M).");
+}

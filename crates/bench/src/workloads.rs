@@ -1,0 +1,86 @@
+//! The microbenchmark workloads of Table VI.
+
+/// One GEMV microbenchmark: `n × k` (the paper writes them `k × n`-style
+/// as "1k×4k" meaning a 4k-input, 1k-output matrix-vector product —
+/// dimensioned here so GEMV4 streams 128 MB of weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemvWorkload {
+    /// Table VI name.
+    pub name: &'static str,
+    /// Output dimension.
+    pub n: usize,
+    /// Input dimension.
+    pub k: usize,
+}
+
+impl GemvWorkload {
+    /// Weight bytes (FP16).
+    pub fn weight_bytes(&self) -> u64 {
+        (self.n * self.k * 2) as u64
+    }
+}
+
+/// One element-wise ADD microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddWorkload {
+    /// Table VI name.
+    pub name: &'static str,
+    /// Vector elements.
+    pub elements: usize,
+}
+
+/// Table VI's four GEMV sizes.
+pub fn gemv_workloads() -> Vec<GemvWorkload> {
+    vec![
+        GemvWorkload { name: "GEMV1", n: 1024, k: 4096 },
+        GemvWorkload { name: "GEMV2", n: 2048, k: 4096 },
+        GemvWorkload { name: "GEMV3", n: 4096, k: 8192 },
+        GemvWorkload { name: "GEMV4", n: 8192, k: 8192 },
+    ]
+}
+
+/// Table VI's four ADD sizes.
+pub fn add_workloads() -> Vec<AddWorkload> {
+    vec![
+        AddWorkload { name: "ADD1", elements: 2 << 20 },
+        AddWorkload { name: "ADD2", elements: 4 << 20 },
+        AddWorkload { name: "ADD3", elements: 8 << 20 },
+        AddWorkload { name: "ADD4", elements: 16 << 20 },
+    ]
+}
+
+/// The BN workload of Fig. 14 ("a batch-normalization kernel (BN) with the
+/// same input size as ADD") — paired with each ADD size.
+pub fn bn_workloads() -> Vec<AddWorkload> {
+    add_workloads()
+        .into_iter()
+        .map(|w| AddWorkload {
+            name: match w.name {
+                "ADD1" => "BN1",
+                "ADD2" => "BN2",
+                "ADD3" => "BN3",
+                _ => "BN4",
+            },
+            elements: w.elements,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_sizes() {
+        let g = gemv_workloads();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0].name, "GEMV1");
+        assert_eq!((g[0].n, g[0].k), (1024, 4096));
+        assert_eq!((g[3].n, g[3].k), (8192, 8192));
+        assert_eq!(g[3].weight_bytes(), 128 << 20);
+        let a = add_workloads();
+        assert_eq!(a[0].elements, 2 << 20);
+        assert_eq!(a[3].elements, 16 << 20);
+        assert_eq!(bn_workloads()[2].name, "BN3");
+    }
+}

@@ -1,0 +1,289 @@
+//! A tiny assembler for PIM microkernels.
+//!
+//! The PIM programming model ultimately ships 32-bit words into the CRF;
+//! during development it is far more pleasant to write microkernels as
+//! text. [`assemble`] parses exactly the syntax [`Instruction`]'s
+//! `Display` implementation prints (so assembly and disassembly round-trip
+//! by construction), one instruction per line, with `;` comments:
+//!
+//! ```text
+//! ; GEMV inner loop (Fig. 7)
+//! FILL SRF_M[0], WDATA
+//! MAC GRF_B[0], EVEN_BANK, SRF_M[0] (AAM)
+//! JUMP 1, #8
+//! JUMP 0, #512
+//! EXIT
+//! ```
+
+use crate::isa::{Instruction, Operand, OperandKind};
+use std::fmt;
+
+/// An assembly error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Line the error occurred on (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// Parses an operand like `GRF_A[3]`, `EVEN_BANK`, `SRF_M[0]`, `WDATA`.
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let (name, idx) = match tok.find('[') {
+        Some(open) => {
+            let close = match tok.find(']') {
+                Some(c) if c > open => c,
+                _ => return err(line, format!("malformed index in operand `{tok}`")),
+            };
+            let idx: u8 = tok[open + 1..close]
+                .parse()
+                .map_err(|_| AsmError { line, message: format!("bad register index in `{tok}`") })?;
+            (&tok[..open], idx)
+        }
+        None => (tok, 0u8),
+    };
+    if idx >= 8 {
+        return err(line, format!("register index {idx} out of range in `{tok}`"));
+    }
+    let kind = match name {
+        "GRF_A" => OperandKind::GrfA,
+        "GRF_B" => OperandKind::GrfB,
+        "EVEN_BANK" => OperandKind::EvenBank,
+        "ODD_BANK" => OperandKind::OddBank,
+        "SRF_M" => OperandKind::SrfM,
+        "SRF_A" => OperandKind::SrfA,
+        "WDATA" => OperandKind::Wdata,
+        other => return err(line, format!("unknown operand `{other}`")),
+    };
+    Ok(Operand::new(kind, idx))
+}
+
+/// Parses one instruction line (comments and surrounding whitespace already
+/// stripped).
+fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
+    // Trailing "(AAM)" flag.
+    let (text, aam) = match text.strip_suffix("(AAM)") {
+        Some(t) => (t.trim_end(), true),
+        None => (text, false),
+    };
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let operands: Vec<&str> =
+        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let need = |n: usize| -> Result<(), AsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("{mnemonic} expects {n} operand(s), got {}", operands.len()))
+        }
+    };
+
+    let instr = match mnemonic {
+        "NOP" => {
+            need(1)?;
+            let cycles: u32 = operands[0]
+                .parse()
+                .map_err(|_| AsmError { line, message: format!("bad NOP count `{}`", operands[0]) })?;
+            Instruction::Nop { cycles: cycles.max(1) }
+        }
+        "JUMP" => {
+            need(2)?;
+            let target: u8 = operands[0]
+                .parse()
+                .map_err(|_| AsmError { line, message: format!("bad JUMP target `{}`", operands[0]) })?;
+            let count_str = operands[1].strip_prefix('#').unwrap_or(operands[1]);
+            let count: u32 = count_str
+                .parse()
+                .map_err(|_| AsmError { line, message: format!("bad JUMP count `{}`", operands[1]) })?;
+            Instruction::Jump { target, count }
+        }
+        "EXIT" => {
+            need(0)?;
+            Instruction::Exit
+        }
+        "MOV" | "MOV(ReLU)" => {
+            need(2)?;
+            Instruction::Mov {
+                dst: parse_operand(operands[0], line)?,
+                src: parse_operand(operands[1], line)?,
+                relu: mnemonic == "MOV(ReLU)",
+                aam,
+            }
+        }
+        "FILL" => {
+            need(2)?;
+            Instruction::Fill {
+                dst: parse_operand(operands[0], line)?,
+                src: parse_operand(operands[1], line)?,
+                aam,
+            }
+        }
+        "ADD" | "MUL" | "MAC" | "MAD" => {
+            need(3)?;
+            let dst = parse_operand(operands[0], line)?;
+            let src0 = parse_operand(operands[1], line)?;
+            let src1 = parse_operand(operands[2], line)?;
+            match mnemonic {
+                "ADD" => Instruction::Add { dst, src0, src1, aam },
+                "MUL" => Instruction::Mul { dst, src0, src1, aam },
+                "MAC" => Instruction::Mac { dst, src0, src1, aam },
+                _ => Instruction::Mad { dst, src0, src1, aam },
+            }
+        }
+        other => return err(line, format!("unknown mnemonic `{other}`")),
+    };
+    Ok(instr)
+}
+
+/// Assembles a microkernel: one instruction per line, `;` comments, blank
+/// lines ignored.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] (with line number) on any syntax problem,
+/// and rejects programs longer than the 32-entry CRF.
+///
+/// ```
+/// use pim_core::asm::assemble;
+/// let prog = assemble(
+///     "; add kernel inner step\n\
+///      FILL GRF_A[0], EVEN_BANK (AAM)\n\
+///      JUMP 0, #8\n\
+///      EXIT",
+/// ).unwrap();
+/// assert_eq!(prog.len(), 3);
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
+    let mut program = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line = i + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let instr = parse_line(text, line)?;
+        instr.validate().map_err(|m| AsmError { line, message: m })?;
+        program.push(instr);
+    }
+    if program.len() > 32 {
+        return err(0, format!("program has {} instructions; the CRF holds 32", program.len()));
+    }
+    Ok(program)
+}
+
+/// Disassembles a program back into assembly text (the inverse of
+/// [`assemble`] up to comments and whitespace).
+pub fn disassemble(program: &[Instruction]) -> String {
+    let mut out = String::new();
+    for (i, instr) in program.iter().enumerate() {
+        out.push_str(&format!("{i:>2}: {instr}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_the_gemv_kernel() {
+        let prog = assemble(
+            "FILL SRF_M[0], WDATA\n\
+             MAC GRF_B[0], EVEN_BANK, SRF_M[0] (AAM)\n\
+             JUMP 1, #8\n\
+             JUMP 0, #512\n\
+             EXIT",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 5);
+        assert!(matches!(prog[1], Instruction::Mac { aam: true, .. }));
+        assert!(matches!(prog[3], Instruction::Jump { target: 0, count: 512 }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let prog = assemble("; header\n\n  EXIT ; trailing\n").unwrap();
+        assert_eq!(prog, vec![Instruction::Exit]);
+    }
+
+    #[test]
+    fn display_round_trips_through_assemble() {
+        use crate::isa::Operand;
+        let originals = vec![
+            Instruction::Nop { cycles: 7 },
+            Instruction::Jump { target: 3, count: 100 },
+            Instruction::Exit,
+            Instruction::Mov {
+                dst: Operand::grf_a(2),
+                src: Operand::odd_bank(),
+                relu: true,
+                aam: true,
+            },
+            Instruction::Fill { dst: Operand::srf_a(1), src: Operand::wdata(), aam: false },
+            Instruction::Add {
+                dst: Operand::grf_b(4),
+                src0: Operand::grf_a(4),
+                src1: Operand::even_bank(),
+                aam: true,
+            },
+            Instruction::Mad {
+                dst: Operand::grf_a(0),
+                src0: Operand::even_bank(),
+                src1: Operand::srf_m(5),
+                aam: false,
+            },
+        ];
+        for instr in originals {
+            let text = format!("{instr}");
+            let parsed = assemble(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(parsed, vec![instr], "`{text}`");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("EXIT\nBOGUS GRF_A[0]").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("BOGUS"));
+        let e = assemble("MOV GRF_A[9], EVEN_BANK").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = assemble("ADD GRF_A[0], EVEN_BANK").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+        let e = assemble("JUMP 40, #1").unwrap_err();
+        assert!(e.message.contains("CRF"), "{e}");
+    }
+
+    #[test]
+    fn illegal_combinations_rejected_at_assembly() {
+        let e = assemble("ADD GRF_A[0], EVEN_BANK, ODD_BANK").unwrap_err();
+        assert!(e.message.contains("one bank"));
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let src = "NOP 1\n".repeat(33);
+        let e = assemble(&src).unwrap_err();
+        assert!(e.message.contains("32"));
+    }
+
+    #[test]
+    fn disassemble_lists_indices() {
+        let prog = vec![Instruction::Exit];
+        let text = disassemble(&prog);
+        assert!(text.contains(" 0: EXIT"));
+    }
+}

@@ -1,0 +1,832 @@
+//! The PIM-HBM pseudo channel: a standard HBM2 channel plus PIM execution
+//! units and the SB / AB / AB-PIM operating-mode machinery of Section III.
+//!
+//! [`PimChannel`] implements [`pim_dram::CommandSink`], so the **unmodified**
+//! [`pim_dram::MemoryController`] drives it exactly as it drives a plain
+//! channel — the paper's drop-in-replacement property. Everything PIM is
+//! expressed through standard DRAM commands:
+//!
+//! * **Mode transitions** (Fig. 3) are ACT+PRE sequences to reserved rows.
+//!   The host enters all-bank mode by activating and precharging the `ABMR`
+//!   row, and returns by the same sequence on the `SBMR` row. "This
+//!   approach is compatible with any processors adopting JEDEC-compliant
+//!   DRAM controllers because it relies on standard DRAM commands"
+//!   (Section III-B).
+//! * **AB-PIM mode** is toggled by writing the memory-mapped `PIM_OP_MODE`
+//!   register.
+//! * **Registers are memory-mapped**: writes to the `CRF`/`SRF`/`GRF` rows
+//!   program the units; reads of the `GRF` row in single-bank mode read a
+//!   specific unit's results back.
+//!
+//! # The reserved `PIM_CONF` memory map
+//!
+//! The top rows of every bank are reserved (the PIM device driver never
+//! allocates them — the "gray region" of Fig. 3):
+//!
+//! | row | contents |
+//! |---|---|
+//! | `0x1FFF` | `ABMR` — ACT+PRE enters all-bank mode |
+//! | `0x1FFE` | `SBMR` — ACT+PRE exits to single-bank mode |
+//! | `0x1FFD` | `PIM_OP_MODE` — WR with bit 0 set enters AB-PIM |
+//! | `0x1FFC` | `CRF` — WR at column c loads CRF words 8c..8c+8 |
+//! | `0x1FFB` | `SRF` — WR loads SRF_M (lanes 0–7) and SRF_A (lanes 8–15) |
+//! | `0x1FFA` | `GRF` — columns 0–7 map GRF_A[0..8], 8–15 map GRF_B[0..8] |
+
+use crate::config::PimConfig;
+use crate::unit::{BankPort, PimUnit, Trigger, TriggerKind};
+use crate::vector::LaneVec;
+use pim_dram::{
+    BankAddr, Command, CommandSink, Cycle, DataBlock, IssueError, IssueOutcome, PseudoChannel,
+    TimingParams,
+};
+
+/// First reserved row of the `PIM_CONF` region.
+pub const PIM_CONF_FIRST_ROW: u32 = 0x1FFA;
+/// Memory-mapped GRF row.
+pub const GRF_ROW: u32 = 0x1FFA;
+/// Memory-mapped SRF row.
+pub const SRF_ROW: u32 = 0x1FFB;
+/// Memory-mapped CRF row.
+pub const CRF_ROW: u32 = 0x1FFC;
+/// The `PIM_OP_MODE` register row.
+pub const PIM_OP_MODE_ROW: u32 = 0x1FFD;
+/// The SB-mode-return register row (`SBMR`).
+pub const SBMR_ROW: u32 = 0x1FFE;
+/// The AB-mode-entry register row (`ABMR`).
+pub const ABMR_ROW: u32 = 0x1FFF;
+
+/// The operating mode of a PIM-HBM channel (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PimMode {
+    /// Standard DRAM operation; each command targets one bank.
+    SingleBank,
+    /// All banks respond to every command in lock-step; no PIM execution.
+    AllBank,
+    /// All-bank operation where every column command triggers one PIM
+    /// instruction per unit.
+    AllBankPim,
+}
+
+impl std::fmt::Display for PimMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PimMode::SingleBank => "SB",
+            PimMode::AllBank => "AB",
+            PimMode::AllBankPim => "AB-PIM",
+        })
+    }
+}
+
+/// The standard-command sequence that enters all-bank mode: ACT then PRE on
+/// the `ABMR` row (Fig. 3).
+pub fn enter_ab_sequence() -> Vec<Command> {
+    let bank = BankAddr::new(0, 0);
+    vec![Command::Act { bank, row: ABMR_ROW }, Command::Pre { bank }]
+}
+
+/// The sequence that exits all-bank mode back to single-bank mode: ACT then
+/// PRE on the `SBMR` row. In AB mode the PRE closes **all** banks, which is
+/// exactly the paper's exit requirement ("the host processor precharges
+/// (closes) all the open rows of the banks so that there is no row-buffer
+/// conflict after the transition").
+pub fn exit_ab_sequence() -> Vec<Command> {
+    let bank = BankAddr::new(0, 0);
+    vec![Command::Act { bank, row: SBMR_ROW }, Command::Pre { bank }]
+}
+
+/// The sequence that sets the `PIM_OP_MODE` register to `enable`:
+/// ACT of the register row, a WR whose bit 0 carries the value, and PRE.
+pub fn set_pim_op_mode_sequence(enable: bool) -> Vec<Command> {
+    let bank = BankAddr::new(0, 0);
+    let mut data: DataBlock = [0u8; 32];
+    data[0] = enable as u8;
+    vec![
+        Command::Act { bank, row: PIM_OP_MODE_ROW },
+        Command::Wr { bank, col: 0, data },
+        Command::Pre { bank },
+    ]
+}
+
+/// Statistics of a PIM channel, feeding the energy model (Fig. 11) and the
+/// performance reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PimChannelStats {
+    /// SB↔AB↔AB-PIM transitions performed.
+    pub mode_transitions: u64,
+    /// All-bank ACT commands (each activates 16 banks).
+    pub ab_acts: u64,
+    /// All-bank precharges.
+    pub ab_pres: u64,
+    /// Column RD commands in AB / AB-PIM mode.
+    pub ab_reads: u64,
+    /// Column WR commands in AB / AB-PIM mode.
+    pub ab_writes: u64,
+    /// Triggers delivered to PIM units (commands × units).
+    pub pim_triggers: u64,
+    /// Bank blocks read as instruction operands.
+    pub bank_operand_reads: u64,
+    /// Bank blocks written as instruction results.
+    pub bank_result_writes: u64,
+    /// Configuration-row register writes.
+    pub conf_writes: u64,
+    /// Configuration-row register reads.
+    pub conf_reads: u64,
+}
+
+/// Lock-step timing state of the virtual "all-bank bank": in AB modes every
+/// bank carries identical state, so one set of horizons suffices. Columns
+/// pace at tCCD_L ("each bank can operate at every tCCD_L in AB mode",
+/// Section III-B).
+#[derive(Debug, Clone, Copy, Default)]
+struct AbTiming {
+    open_row: Option<u32>,
+    next_act: Cycle,
+    next_col: Cycle,
+    next_pre: Cycle,
+}
+
+/// A pending mode-transition: an ACT to ABMR/SBMR has been seen and awaits
+/// its PRE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingTransition {
+    ToAllBank(BankAddr),
+    ToSingleBank,
+}
+
+/// A PIM-HBM pseudo channel (see module docs).
+#[derive(Debug)]
+pub struct PimChannel {
+    inner: PseudoChannel,
+    config: PimConfig,
+    mode: PimMode,
+    pending: Option<PendingTransition>,
+    units: Vec<PimUnit>,
+    ab: AbTiming,
+    stats: PimChannelStats,
+}
+
+impl PimChannel {
+    /// Creates a PIM-HBM channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PimConfig::validate`].
+    pub fn new(timing: TimingParams, config: PimConfig) -> PimChannel {
+        config.validate().expect("invalid PIM configuration");
+        let units = (0..config.units_per_pch).map(|_| PimUnit::new()).collect();
+        PimChannel {
+            inner: PseudoChannel::new(timing),
+            config,
+            mode: PimMode::SingleBank,
+            pending: None,
+            units,
+            ab: AbTiming::default(),
+            stats: PimChannelStats::default(),
+        }
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> PimMode {
+        self.mode
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// PIM channel statistics.
+    pub fn stats(&self) -> &PimChannelStats {
+        &self.stats
+    }
+
+    /// Access to PIM unit `idx` (for result readback in tests and the
+    /// energy model's per-unit accounting).
+    pub fn unit(&self, idx: usize) -> &PimUnit {
+        &self.units[idx]
+    }
+
+    /// Number of PIM units on this channel.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The wrapped plain channel (bank contents, HBM-level stats).
+    pub fn dram(&self) -> &PseudoChannel {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped channel — the software stack's DMA
+    /// backdoor for loading tensors ([`pim_dram::Bank::poke_block`]).
+    pub fn dram_mut(&mut self) -> &mut PseudoChannel {
+        &mut self.inner
+    }
+
+    /// The PIM unit that owns `bank` (one unit per even/odd bank pair).
+    fn unit_of(&self, bank: BankAddr) -> usize {
+        bank.flat_index() / 2
+    }
+
+    fn is_conf_row(row: u32) -> bool {
+        row >= PIM_CONF_FIRST_ROW
+    }
+
+    /// Handles a register write at (`row`, `col`) for unit `unit_idx`
+    /// (SB mode) or broadcast to all units (`None`, AB modes).
+    fn conf_write(&mut self, row: u32, col: u32, data: &DataBlock, unit_idx: Option<usize>) {
+        self.stats.conf_writes += 1;
+        let word = LaneVec::from_block(data);
+        let targets: Vec<usize> = match unit_idx {
+            Some(u) => vec![u],
+            None => (0..self.units.len()).collect(),
+        };
+        match row {
+            PIM_OP_MODE_ROW => {
+                let enable = data[0] & 1 == 1;
+                match (self.mode, enable) {
+                    (PimMode::AllBank, true) => {
+                        self.mode = PimMode::AllBankPim;
+                        self.stats.mode_transitions += 1;
+                        for u in &mut self.units {
+                            u.reset_sequencer();
+                        }
+                    }
+                    (PimMode::AllBankPim, false) => {
+                        self.mode = PimMode::AllBank;
+                        self.stats.mode_transitions += 1;
+                    }
+                    // Setting the current value again is a no-op; setting
+                    // PIM_OP_MODE in SB mode is ignored, as the paper's
+                    // AB-PIM mode "is proceeded by the AB mode".
+                    _ => {}
+                }
+            }
+            CRF_ROW => {
+                let base = (col as usize % 4) * 8;
+                for &t in &targets {
+                    for i in 0..8 {
+                        let b = i * 4;
+                        let w = u32::from_le_bytes([data[b], data[b + 1], data[b + 2], data[b + 3]]);
+                        self.units[t].crf_mut().write_word(base + i, w);
+                    }
+                }
+            }
+            SRF_ROW => {
+                for &t in &targets {
+                    self.units[t].srf_m_mut().load_from_lanes(&word, 0);
+                    self.units[t].srf_a_mut().load_from_lanes(&word, 8);
+                }
+            }
+            GRF_ROW => {
+                let c = (col as usize) % 16;
+                for &t in &targets {
+                    if c < 8 {
+                        self.units[t].grf_a_mut().write(c, word);
+                    } else {
+                        self.units[t].grf_b_mut().write(c - 8, word);
+                    }
+                }
+            }
+            _ => {
+                // ABMR/SBMR rows have no data registers; writes are ignored.
+            }
+        }
+    }
+
+    /// Handles a register read at (`row`, `col`) from unit `unit_idx`.
+    fn conf_read(&mut self, row: u32, col: u32, unit_idx: usize) -> DataBlock {
+        self.stats.conf_reads += 1;
+        match row {
+            PIM_OP_MODE_ROW => {
+                let mut d = [0u8; 32];
+                d[0] = (self.mode == PimMode::AllBankPim) as u8;
+                d
+            }
+            CRF_ROW => {
+                let base = (col as usize % 4) * 8;
+                let mut d = [0u8; 32];
+                for i in 0..8 {
+                    let w = self.units[unit_idx].crf().read_word(base + i).to_le_bytes();
+                    d[i * 4..i * 4 + 4].copy_from_slice(&w);
+                }
+                d
+            }
+            SRF_ROW => {
+                let mut lanes = [pim_fp16::F16::ZERO; 16];
+                for i in 0..8 {
+                    lanes[i] = self.units[unit_idx].srf_m().read(i);
+                    lanes[8 + i] = self.units[unit_idx].srf_a().read(i);
+                }
+                LaneVec::from_lanes(lanes).to_block()
+            }
+            GRF_ROW => {
+                let c = (col as usize) % 16;
+                let v = if c < 8 {
+                    self.units[unit_idx].grf_a().read(c)
+                } else {
+                    self.units[unit_idx].grf_b().read(c - 8)
+                };
+                v.to_block()
+            }
+            _ => [0u8; 32],
+        }
+    }
+
+    /// Delivers a column-command trigger to every PIM unit in lock-step.
+    fn dispatch_triggers(&mut self, kind: TriggerKind, row: u32, col: u32) {
+        for u in 0..self.units.len() {
+            let even = BankAddr::from_flat_index(2 * u);
+            let odd = BankAddr::from_flat_index(2 * u + 1);
+            let even_data = LaneVec::from_block(&self.inner.bank(even).read_block(col));
+            let odd_data = LaneVec::from_block(&self.inner.bank(odd).read_block(col));
+            let trig = Trigger { kind, row, col, even_data, odd_data };
+            let out = self.units[u].execute(&trig);
+            self.stats.pim_triggers += 1;
+            if out.bank_read.is_some() {
+                self.stats.bank_operand_reads += 1;
+            }
+            if let Some((port, v)) = out.bank_write {
+                let addr = match port {
+                    BankPort::Even => even,
+                    BankPort::Odd => odd,
+                };
+                self.inner.bank_mut(addr).write_block(col, &v.to_block());
+                self.stats.bank_result_writes += 1;
+            }
+        }
+    }
+
+    /// Issues a command while in an all-bank mode.
+    fn issue_ab(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, IssueError> {
+        let t = self.inner.timing().clone();
+        let earliest = self.earliest_ab(cmd, cycle);
+        if cycle < earliest {
+            return Err(IssueError::TooEarly { earliest });
+        }
+        match cmd {
+            Command::Act { bank, row } => {
+                if self.ab.open_row.is_some() {
+                    return Err(IssueError::BankAlreadyOpen);
+                }
+                self.inner.all_bank_activate(*row, cycle);
+                self.ab.open_row = Some(*row);
+                self.ab.next_col = cycle + t.t_rcd;
+                self.ab.next_pre = cycle + t.t_ras;
+                self.ab.next_act = cycle + t.t_rc;
+                self.stats.ab_acts += 1;
+                // An ACT to the SBMR row arms the exit transition.
+                if *row == SBMR_ROW {
+                    self.pending = Some(PendingTransition::ToSingleBank);
+                } else {
+                    self.pending = None;
+                }
+                let _ = bank; // the BA/BG of the command is ignored in AB mode
+                Ok(IssueOutcome { issued_at: cycle, data: None, data_at: None })
+            }
+            Command::Pre { .. } | Command::PreAll => {
+                if self.ab.open_row.is_none() {
+                    return Err(IssueError::BankNotOpen);
+                }
+                self.inner.all_bank_precharge(cycle);
+                self.ab.open_row = None;
+                self.ab.next_act = self.ab.next_act.max(cycle + t.t_rp);
+                self.stats.ab_pres += 1;
+                if self.pending == Some(PendingTransition::ToSingleBank) {
+                    self.pending = None;
+                    self.mode = PimMode::SingleBank;
+                    self.stats.mode_transitions += 1;
+                    // Hand the channel back with every horizon at or past
+                    // the end of all-bank activity.
+                    self.inner.quiesce_until(self.ab.next_act);
+                }
+                Ok(IssueOutcome { issued_at: cycle, data: None, data_at: None })
+            }
+            Command::Rd { col, .. } => {
+                let row = self.ab.open_row.ok_or(IssueError::BankNotOpen)?;
+                self.ab.next_col = cycle + t.t_ccd_l;
+                self.ab.next_pre = self.ab.next_pre.max(cycle + t.t_rtp);
+                self.stats.ab_reads += 1;
+                if Self::is_conf_row(row) {
+                    let data = self.conf_read(row, *col, 0);
+                    return Ok(IssueOutcome {
+                        issued_at: cycle,
+                        data: Some(data),
+                        data_at: Some(cycle + t.t_cl + t.t_bl),
+                    });
+                }
+                match self.mode {
+                    PimMode::AllBank => {
+                        // Lock-step read: the host observes bank (0,0).
+                        let data = self.inner.bank(BankAddr::new(0, 0)).read_block(*col);
+                        Ok(IssueOutcome {
+                            issued_at: cycle,
+                            data: Some(data),
+                            data_at: Some(cycle + t.t_cl + t.t_bl),
+                        })
+                    }
+                    PimMode::AllBankPim => {
+                        // The RD triggers PIM execution; no data crosses the
+                        // external I/O ("the AB-PIM mode does not consume
+                        // power for transferring data from the bank I/O all
+                        // the way to the I/O circuits", Section III-B).
+                        self.dispatch_triggers(TriggerKind::Read, row, *col);
+                        Ok(IssueOutcome { issued_at: cycle, data: None, data_at: Some(cycle) })
+                    }
+                    PimMode::SingleBank => unreachable!("issue_ab in SB mode"),
+                }
+            }
+            Command::Wr { col, data, .. } => {
+                let row = self.ab.open_row.ok_or(IssueError::BankNotOpen)?;
+                self.ab.next_col = cycle + t.t_ccd_l;
+                self.ab.next_pre = self.ab.next_pre.max(cycle + t.t_wl + t.t_bl + t.t_wr);
+                self.stats.ab_writes += 1;
+                let data_at = Some(cycle + t.t_wl + t.t_bl);
+                if Self::is_conf_row(row) {
+                    self.conf_write(row, *col, data, None);
+                    return Ok(IssueOutcome { issued_at: cycle, data: None, data_at });
+                }
+                match self.mode {
+                    PimMode::AllBank => {
+                        // Broadcast write: the same block lands in every
+                        // bank — how the software stack replicates shared
+                        // operands across banks in one command.
+                        for b in BankAddr::all() {
+                            self.inner.bank_mut(b).write_block(*col, data);
+                        }
+                        Ok(IssueOutcome { issued_at: cycle, data: None, data_at })
+                    }
+                    PimMode::AllBankPim => {
+                        // The WR's block rides the write datapath into the
+                        // units as the WDATA operand; the array itself is
+                        // not written (instructions write banks explicitly).
+                        let wdata = LaneVec::from_block(data);
+                        self.dispatch_triggers(TriggerKind::Write(wdata), row, *col);
+                        Ok(IssueOutcome { issued_at: cycle, data: None, data_at })
+                    }
+                    PimMode::SingleBank => unreachable!("issue_ab in SB mode"),
+                }
+            }
+            Command::Ref => {
+                if self.ab.open_row.is_some() {
+                    return Err(IssueError::BanksOpenOnRefresh);
+                }
+                self.ab.next_act = self.ab.next_act.max(cycle + t.t_rfc);
+                Ok(IssueOutcome { issued_at: cycle, data: None, data_at: None })
+            }
+        }
+    }
+
+    fn earliest_ab(&self, cmd: &Command, now: Cycle) -> Cycle {
+        match cmd {
+            Command::Act { .. } => now.max(self.ab.next_act),
+            Command::Rd { .. } | Command::Wr { .. } => now.max(self.ab.next_col),
+            Command::Pre { .. } | Command::PreAll => now.max(self.ab.next_pre),
+            Command::Ref => now.max(self.ab.next_act),
+        }
+    }
+}
+
+impl CommandSink for PimChannel {
+    fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Cycle {
+        match self.mode {
+            PimMode::SingleBank => self.inner.earliest_issue(cmd, now),
+            _ => self.earliest_ab(cmd, now),
+        }
+    }
+
+    fn issue(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, IssueError> {
+        if self.mode != PimMode::SingleBank {
+            return self.issue_ab(cmd, cycle);
+        }
+        // Single-bank mode: pass through, then post-process for mode
+        // transitions and memory-mapped register access.
+        let open_row_before = cmd.bank().and_then(|b| self.inner.open_row(b));
+        let mut outcome = self.inner.issue(cmd, cycle)?;
+        match cmd {
+            Command::Act { bank, row } if *row == ABMR_ROW => {
+                self.pending = Some(PendingTransition::ToAllBank(*bank));
+            }
+            Command::Act { .. } => {
+                self.pending = None;
+            }
+            Command::Pre { bank } => {
+                if self.pending == Some(PendingTransition::ToAllBank(*bank)) {
+                    self.pending = None;
+                    assert!(
+                        self.inner.all_banks_closed(),
+                        "entering all-bank mode requires all banks precharged \
+                         (the PIM executor must close open rows first)"
+                    );
+                    self.mode = PimMode::AllBank;
+                    self.stats.mode_transitions += 1;
+                    self.ab = AbTiming {
+                        open_row: None,
+                        // Inherit the post-PRE horizon so the first all-bank
+                        // ACT respects tRP.
+                        next_act: self.inner.earliest_issue(
+                            &Command::Act { bank: *bank, row: 0 },
+                            cycle,
+                        ),
+                        next_col: cycle,
+                        next_pre: cycle,
+                    };
+                }
+            }
+            Command::Rd { bank, col } => {
+                if let Some(row) = open_row_before {
+                    if Self::is_conf_row(row) {
+                        let unit = self.unit_of(*bank);
+                        outcome.data = Some(self.conf_read(row, *col, unit));
+                    }
+                }
+                self.pending = None;
+            }
+            Command::Wr { bank, col, data } => {
+                if let Some(row) = open_row_before {
+                    if Self::is_conf_row(row) {
+                        let unit = self.unit_of(*bank);
+                        self.conf_write(row, *col, data, Some(unit));
+                    }
+                }
+                self.pending = None;
+            }
+            Command::PreAll | Command::Ref => {}
+        }
+        Ok(outcome)
+    }
+
+    fn open_row(&self, bank: BankAddr) -> Option<u32> {
+        match self.mode {
+            PimMode::SingleBank => self.inner.open_row(bank),
+            _ => self.ab.open_row,
+        }
+    }
+
+    fn timing(&self) -> &TimingParams {
+        self.inner.timing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instruction, Operand};
+
+    /// Issues a command sequence back-to-back at the earliest legal cycles.
+    fn run(ch: &mut PimChannel, cmds: &[Command], mut now: Cycle) -> Cycle {
+        for c in cmds {
+            let at = ch.earliest_issue(c, now);
+            ch.issue(c, at).unwrap_or_else(|e| panic!("{c} at {at}: {e}"));
+            now = at;
+        }
+        now
+    }
+
+    fn fresh() -> PimChannel {
+        PimChannel::new(TimingParams::hbm2(), PimConfig::paper())
+    }
+
+    #[test]
+    fn starts_in_single_bank_mode_as_plain_hbm() {
+        let mut ch = fresh();
+        assert_eq!(ch.mode(), PimMode::SingleBank);
+        // Plain DRAM traffic works untouched.
+        let b = BankAddr::new(1, 2);
+        run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: 10 },
+                Command::Wr { bank: b, col: 3, data: [7; 32] },
+                Command::Rd { bank: b, col: 3 },
+            ],
+            0,
+        );
+        assert_eq!(ch.dram().bank(b).peek_block(10, 3), [7; 32]);
+    }
+
+    #[test]
+    fn abmr_sequence_enters_ab_mode() {
+        let mut ch = fresh();
+        run(&mut ch, &enter_ab_sequence(), 0);
+        assert_eq!(ch.mode(), PimMode::AllBank);
+        assert_eq!(ch.stats().mode_transitions, 1);
+    }
+
+    #[test]
+    fn sbmr_sequence_exits_ab_mode() {
+        let mut ch = fresh();
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let _ = run(&mut ch, &exit_ab_sequence(), now);
+        assert_eq!(ch.mode(), PimMode::SingleBank);
+        assert!(ch.dram().all_banks_closed());
+    }
+
+    #[test]
+    fn plain_act_pre_does_not_transition() {
+        let mut ch = fresh();
+        let b = BankAddr::new(0, 0);
+        run(&mut ch, &[Command::Act { bank: b, row: 5 }, Command::Pre { bank: b }], 0);
+        assert_eq!(ch.mode(), PimMode::SingleBank);
+    }
+
+    #[test]
+    fn intervening_column_cancels_pending_transition() {
+        let mut ch = fresh();
+        let b = BankAddr::new(0, 0);
+        run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: ABMR_ROW },
+                Command::Rd { bank: b, col: 0 },
+                Command::Pre { bank: b },
+            ],
+            0,
+        );
+        assert_eq!(ch.mode(), PimMode::SingleBank);
+    }
+
+    #[test]
+    fn ab_mode_broadcast_write_reaches_all_banks() {
+        let mut ch = fresh();
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let b = BankAddr::new(0, 0);
+        run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: 4 },
+                Command::Wr { bank: b, col: 2, data: [0xCD; 32] },
+                Command::Pre { bank: b },
+            ],
+            now,
+        );
+        for bank in BankAddr::all() {
+            assert_eq!(ch.dram().bank(bank).peek_block(4, 2), [0xCD; 32], "{bank}");
+        }
+    }
+
+    #[test]
+    fn ab_mode_columns_pace_at_tccd_l() {
+        let mut ch = fresh();
+        let t = ch.timing().clone();
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let b = BankAddr::new(0, 0);
+        let now = run(&mut ch, &[Command::Act { bank: b, row: 0 }], now);
+        let first = ch.earliest_issue(&Command::Rd { bank: b, col: 0 }, now);
+        ch.issue(&Command::Rd { bank: b, col: 0 }, first).unwrap();
+        let second = ch.earliest_issue(&Command::Rd { bank: b, col: 1 }, first);
+        assert_eq!(second, first + t.t_ccd_l);
+    }
+
+    #[test]
+    fn pim_op_mode_toggles_ab_pim() {
+        let mut ch = fresh();
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let now = run(&mut ch, &set_pim_op_mode_sequence(true), now);
+        assert_eq!(ch.mode(), PimMode::AllBankPim);
+        let _ = run(&mut ch, &set_pim_op_mode_sequence(false), now);
+        assert_eq!(ch.mode(), PimMode::AllBank);
+    }
+
+    #[test]
+    fn pim_op_mode_ignored_in_sb_mode() {
+        let mut ch = fresh();
+        run(&mut ch, &set_pim_op_mode_sequence(true), 0);
+        assert_eq!(ch.mode(), PimMode::SingleBank);
+    }
+
+    /// End-to-end: program a broadcast-MOV microkernel through memory-mapped
+    /// CRF writes, run it with RD triggers, and read results back per unit
+    /// in SB mode — entirely with standard DRAM commands.
+    #[test]
+    fn full_pim_round_trip_with_standard_commands() {
+        let mut ch = fresh();
+        let b = BankAddr::new(0, 0);
+
+        // Seed distinct data in every even bank at row 1, col 0 (SB mode
+        // writes — the "weights" the kernel will read).
+        for u in 0..8u8 {
+            let bank = BankAddr::from_flat_index(2 * u as usize);
+            let block = LaneVec::from_f32([u as f32 + 1.0; 16]).to_block();
+            ch.dram_mut().bank_mut(bank).poke_block(1, 0, &block);
+        }
+
+        // Enter AB mode; program the CRF: MOV GRF_A[0] <- EVEN_BANK; EXIT.
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let prog = [
+            Instruction::Mov {
+                dst: Operand::grf_a(0),
+                src: Operand::even_bank(),
+                relu: false,
+                aam: false,
+            },
+            Instruction::Exit,
+        ];
+        let mut crf_block = [0u8; 32];
+        for (i, ins) in prog.iter().enumerate() {
+            crf_block[i * 4..i * 4 + 4].copy_from_slice(&ins.encode().to_le_bytes());
+        }
+        let now = run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: CRF_ROW },
+                Command::Wr { bank: b, col: 0, data: crf_block },
+                Command::Pre { bank: b },
+            ],
+            now,
+        );
+
+        // Enter AB-PIM and fire one RD trigger on data row 1.
+        let now = run(&mut ch, &set_pim_op_mode_sequence(true), now);
+        let now = run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: 1 },
+                Command::Rd { bank: b, col: 0 },
+                Command::Pre { bank: b },
+            ],
+            now,
+        );
+        assert_eq!(ch.stats().pim_triggers, 8);
+
+        // Leave PIM, return to SB, and read unit 3's GRF_A[0] back through
+        // the memory-mapped GRF row of bank 6 (unit 3's even bank).
+        let now = run(&mut ch, &set_pim_op_mode_sequence(false), now);
+        let now = run(&mut ch, &exit_ab_sequence(), now);
+        assert_eq!(ch.mode(), PimMode::SingleBank);
+        let bank6 = BankAddr::from_flat_index(6);
+        let mut got = None;
+        let cmds = [
+            Command::Act { bank: bank6, row: GRF_ROW },
+            Command::Rd { bank: bank6, col: 0 },
+            Command::Pre { bank: bank6 },
+        ];
+        let mut t = now;
+        for c in &cmds {
+            let at = ch.earliest_issue(c, t);
+            let out = ch.issue(c, at).unwrap();
+            if out.data.is_some() {
+                got = out.data;
+            }
+            t = at;
+        }
+        let v = LaneVec::from_block(&got.unwrap());
+        assert_eq!(v.to_f32(), [4.0; 16], "unit 3 loaded even bank 6's value 3+1");
+    }
+
+    #[test]
+    fn ab_pim_rd_returns_no_external_data() {
+        let mut ch = fresh();
+        let b = BankAddr::new(0, 0);
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let now = run(&mut ch, &set_pim_op_mode_sequence(true), now);
+        let now = run(&mut ch, &[Command::Act { bank: b, row: 0 }], now);
+        let at = ch.earliest_issue(&Command::Rd { bank: b, col: 0 }, now);
+        let out = ch.issue(&Command::Rd { bank: b, col: 0 }, at).unwrap();
+        assert_eq!(out.data, None, "AB-PIM reads do not drive the external I/O");
+    }
+
+    #[test]
+    fn srf_row_write_loads_both_files() {
+        let mut ch = fresh();
+        let b = BankAddr::new(0, 0);
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let mut vals = [0.0f32; 16];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = i as f32 * 0.5;
+        }
+        let block = LaneVec::from_f32(vals).to_block();
+        run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: SRF_ROW },
+                Command::Wr { bank: b, col: 0, data: block },
+                Command::Pre { bank: b },
+            ],
+            now,
+        );
+        for u in 0..8 {
+            assert_eq!(ch.unit(u).srf_m().read(2).to_f32(), 1.0);
+            assert_eq!(ch.unit(u).srf_a().read(2).to_f32(), 5.0);
+        }
+    }
+
+    #[test]
+    fn exit_quiesces_sb_timing() {
+        let mut ch = fresh();
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        let b = BankAddr::new(0, 0);
+        let now = run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: 2 },
+                Command::Rd { bank: b, col: 0 },
+                Command::Pre { bank: b },
+            ],
+            now,
+        );
+        let end = run(&mut ch, &exit_ab_sequence(), now);
+        // An SB command must not be allowed before AB activity ended.
+        let e = ch.earliest_issue(&Command::Act { bank: b, row: 0 }, 0);
+        assert!(e >= end, "SB ACT at {e} before AB activity ended at {end}");
+    }
+}

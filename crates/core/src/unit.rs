@@ -1,0 +1,688 @@
+//! The PIM execution unit (Section IV): a 16-wide SIMD FPU, register files,
+//! and the instruction-sequencing controller.
+//!
+//! One unit is shared by two banks ("we decide to place one PIM execution
+//! unit between two banks", Section IV-A) and executes exactly one
+//! instruction per column-command trigger, in lock-step with every other
+//! unit on the channel. The five pipeline stages (fetch/decode, bank read,
+//! multiply, add, write-back) all overlap with the tCCD_L command cadence,
+//! so at the command-level timing abstraction a trigger maps to one
+//! completed instruction; the pipeline depth only shows up as a fixed drain
+//! latency accounted by [`PimUnit::PIPELINE_STAGES`].
+
+use crate::isa::{Instruction, Operand, OperandKind};
+use crate::regfile::{Crf, Grf, Srf, CRF_ENTRIES};
+use crate::vector::LaneVec;
+
+/// Which of the unit's two banks an operand touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankPort {
+    /// The even-numbered bank (EVEN_BANK operand).
+    Even,
+    /// The odd-numbered bank (ODD_BANK operand).
+    Odd,
+}
+
+/// What kind of column command triggered execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TriggerKind {
+    /// A DRAM column RD command.
+    Read,
+    /// A DRAM column WR command carrying a 32-byte block on the write
+    /// datapath (the `WDATA` operand).
+    Write(LaneVec),
+}
+
+/// A column-command trigger delivered to the unit: the implicit memory
+/// operand address (open row + command column, Section IV-B) and the data
+/// visible at the unit's two bank ports.
+#[derive(Debug, Clone, Copy)]
+pub struct Trigger {
+    /// RD or WR (with write data).
+    pub kind: TriggerKind,
+    /// The row currently open in both banks.
+    pub row: u32,
+    /// The column carried by the command — also the AAM index source.
+    pub col: u32,
+    /// The even bank's 32-byte block at (row, col).
+    pub even_data: LaneVec,
+    /// The odd bank's 32-byte block at (row, col).
+    pub odd_data: LaneVec,
+}
+
+/// The observable effect of one trigger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOutcome {
+    /// The instruction that executed, if the unit was running.
+    pub executed: Option<Instruction>,
+    /// A block the instruction wrote back to a bank at (row, col), if any
+    /// (e.g. `MOV EVEN_BANK, GRF_A` storing results).
+    pub bank_write: Option<(BankPort, LaneVec)>,
+    /// The bank port a source operand consumed, if any — drives the energy
+    /// model's per-bank access accounting.
+    pub bank_read: Option<BankPort>,
+    /// `true` if the unit is halted (EXIT reached) after this trigger.
+    pub halted: bool,
+}
+
+/// Per-unit execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Instructions executed (NOP repeats count once per consumed trigger).
+    pub instructions: u64,
+    /// FP operations performed (a 16-lane ADD/MUL = 16, MAC/MAD = 32).
+    pub flops: u64,
+    /// Source operands read from a bank.
+    pub bank_reads: u64,
+    /// Results written to a bank.
+    pub bank_writes: u64,
+    /// WDATA operands requested by an instruction on a RD trigger (a
+    /// microkernel bug; the hardware would see stale bus data, we supply
+    /// zeros).
+    pub wdata_on_read: u64,
+}
+
+/// One PIM execution unit: CRF + GRF_A/GRF_B + SRF_M/SRF_A + 16-wide FPU +
+/// controller (Fig. 4).
+#[derive(Debug, Clone)]
+pub struct PimUnit {
+    crf: Crf,
+    grf_a: Grf,
+    grf_b: Grf,
+    srf_m: Srf,
+    srf_a: Srf,
+    /// PIM program counter (PPC, Section III-A).
+    ppc: usize,
+    /// Times each JUMP entry has been taken since its counter last reset.
+    jump_taken: [u32; CRF_ENTRIES],
+    /// Remaining triggers the current multi-cycle NOP will absorb.
+    nop_remaining: u32,
+    halted: bool,
+    stats: UnitStats,
+}
+
+impl Default for PimUnit {
+    fn default() -> PimUnit {
+        PimUnit::new()
+    }
+}
+
+impl PimUnit {
+    /// Pipeline depth (Section IV-B): fetch/decode, bank read, multiply,
+    /// add, write-back. Exposed for end-of-kernel drain accounting.
+    pub const PIPELINE_STAGES: u64 = 5;
+
+    /// A fresh, halt-on-first-trigger unit.
+    pub fn new() -> PimUnit {
+        PimUnit {
+            crf: Crf::new(),
+            grf_a: Grf::new(),
+            grf_b: Grf::new(),
+            srf_m: Srf::new(),
+            srf_a: Srf::new(),
+            ppc: 0,
+            jump_taken: [0; CRF_ENTRIES],
+            nop_remaining: 0,
+            halted: false,
+            stats: UnitStats::default(),
+        }
+    }
+
+    /// The instruction buffer.
+    pub fn crf(&self) -> &Crf {
+        &self.crf
+    }
+
+    /// Mutable instruction buffer (memory-mapped CRF writes land here).
+    pub fn crf_mut(&mut self) -> &mut Crf {
+        &mut self.crf
+    }
+
+    /// GRF file A.
+    pub fn grf_a(&self) -> &Grf {
+        &self.grf_a
+    }
+
+    /// Mutable GRF file A.
+    pub fn grf_a_mut(&mut self) -> &mut Grf {
+        &mut self.grf_a
+    }
+
+    /// GRF file B.
+    pub fn grf_b(&self) -> &Grf {
+        &self.grf_b
+    }
+
+    /// Mutable GRF file B.
+    pub fn grf_b_mut(&mut self) -> &mut Grf {
+        &mut self.grf_b
+    }
+
+    /// SRF_M (multiplication scalars).
+    pub fn srf_m(&self) -> &Srf {
+        &self.srf_m
+    }
+
+    /// Mutable SRF_M.
+    pub fn srf_m_mut(&mut self) -> &mut Srf {
+        &mut self.srf_m
+    }
+
+    /// SRF_A (addition scalars).
+    pub fn srf_a(&self) -> &Srf {
+        &self.srf_a
+    }
+
+    /// Mutable SRF_A.
+    pub fn srf_a_mut(&mut self) -> &mut Srf {
+        &mut self.srf_a
+    }
+
+    /// Current program counter.
+    pub fn ppc(&self) -> usize {
+        self.ppc
+    }
+
+    /// `true` once EXIT has been reached.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+
+    /// Resets the sequencer (PPC, loop counters, halt flag) — performed by
+    /// the device when `PIM_OP_MODE` is set to 1, so every entry into
+    /// AB-PIM mode starts the microkernel from CRF entry 0.
+    pub fn reset_sequencer(&mut self) {
+        self.ppc = 0;
+        self.jump_taken = [0; CRF_ENTRIES];
+        self.nop_remaining = 0;
+        self.halted = false;
+    }
+
+    /// Resolves zero-cycle control flow: follows JUMPs (without consuming
+    /// a trigger) and stops at the next executable instruction; EXIT halts.
+    fn resolve_control(&mut self) {
+        loop {
+            if self.halted {
+                return;
+            }
+            match self.crf.fetch(self.ppc) {
+                Instruction::Jump { target, count } => {
+                    // The body executes `count` times: take the backward
+                    // jump `count - 1` times, then fall through.
+                    if self.jump_taken[self.ppc] + 1 < count {
+                        self.jump_taken[self.ppc] += 1;
+                        self.ppc = target as usize;
+                    } else {
+                        self.jump_taken[self.ppc] = 0;
+                        self.ppc += 1;
+                    }
+                }
+                Instruction::Exit => {
+                    self.halted = true;
+                }
+                _ => return,
+            }
+            if self.ppc >= CRF_ENTRIES {
+                self.halted = true;
+                return;
+            }
+        }
+    }
+
+    fn aam_idx(col: u32) -> usize {
+        (col & 0x7) as usize
+    }
+
+    fn src_index(op: Operand, aam: bool, col: u32) -> usize {
+        if aam {
+            Self::aam_idx(col)
+        } else {
+            op.idx as usize
+        }
+    }
+
+    fn read_operand(
+        &mut self,
+        op: Operand,
+        aam: bool,
+        trig: &Trigger,
+        bank_read: &mut Option<BankPort>,
+    ) -> LaneVec {
+        let idx = Self::src_index(op, aam, trig.col);
+        match op.kind {
+            OperandKind::GrfA => self.grf_a.read(idx),
+            OperandKind::GrfB => self.grf_b.read(idx),
+            OperandKind::EvenBank => {
+                *bank_read = Some(BankPort::Even);
+                trig.even_data
+            }
+            OperandKind::OddBank => {
+                *bank_read = Some(BankPort::Odd);
+                trig.odd_data
+            }
+            OperandKind::SrfM => self.srf_m.read_broadcast(idx),
+            OperandKind::SrfA => self.srf_a.read_broadcast(idx),
+            OperandKind::Wdata => match trig.kind {
+                TriggerKind::Write(d) => d,
+                TriggerKind::Read => {
+                    self.stats.wdata_on_read += 1;
+                    LaneVec::zero()
+                }
+            },
+        }
+    }
+
+    /// Writes `value` to `dst`; returns a bank write-back if the destination
+    /// is a bank.
+    fn write_operand(
+        &mut self,
+        dst: Operand,
+        aam: bool,
+        col: u32,
+        value: LaneVec,
+    ) -> Option<(BankPort, LaneVec)> {
+        let idx = Self::src_index(dst, aam, col);
+        match dst.kind {
+            OperandKind::GrfA => {
+                self.grf_a.write(idx, value);
+                None
+            }
+            OperandKind::GrfB => {
+                self.grf_b.write(idx, value);
+                None
+            }
+            OperandKind::EvenBank => Some((BankPort::Even, value)),
+            OperandKind::OddBank => Some((BankPort::Odd, value)),
+            // A 256-bit move into a scalar file loads 8 scalars: SRF_M from
+            // the low half of the word, SRF_A from the high half — matching
+            // the memory-mapped SRF write layout of the device.
+            OperandKind::SrfM => {
+                self.srf_m.load_from_lanes(&value, 0);
+                None
+            }
+            OperandKind::SrfA => {
+                self.srf_a.load_from_lanes(&value, 8);
+                None
+            }
+            OperandKind::Wdata => {
+                // The write bus is not a destination; treat as a dropped
+                // write (decodable but rejected by Instruction::validate).
+                None
+            }
+        }
+    }
+
+    /// Executes one trigger: resolves control flow, runs one instruction,
+    /// advances the PPC.
+    ///
+    /// This is "a DRAM column command triggers the execution of a PIM
+    /// instruction" (Section III-A), at the heart of the architecture.
+    pub fn execute(&mut self, trig: &Trigger) -> ExecOutcome {
+        // A multi-cycle NOP absorbs this trigger without a fetch.
+        if self.nop_remaining > 0 {
+            self.nop_remaining -= 1;
+            self.stats.instructions += 1;
+            if self.nop_remaining == 0 {
+                self.ppc += 1;
+            }
+            return ExecOutcome {
+                executed: Some(Instruction::Nop { cycles: 1 }),
+                bank_write: None,
+                bank_read: None,
+                halted: self.halted,
+            };
+        }
+
+        self.resolve_control();
+        if self.halted {
+            return ExecOutcome { executed: None, bank_write: None, bank_read: None, halted: true };
+        }
+
+        let instr = self.crf.fetch(self.ppc);
+        let mut bank_read = None;
+        let mut bank_write = None;
+        match instr {
+            Instruction::Nop { cycles } => {
+                if cycles > 1 {
+                    self.nop_remaining = cycles - 1;
+                    // ppc advances when the last repeat is consumed.
+                } else {
+                    self.ppc += 1;
+                }
+            }
+            Instruction::Jump { .. } | Instruction::Exit => {
+                unreachable!("control flow resolved before fetch")
+            }
+            Instruction::Mov { dst, src, relu, aam } => {
+                let mut v = self.read_operand(src, aam, trig, &mut bank_read);
+                if relu {
+                    v = v.relu();
+                }
+                bank_write = self.write_operand(dst, aam, trig.col, v);
+                self.ppc += 1;
+            }
+            Instruction::Fill { dst, src, aam } => {
+                let v = self.read_operand(src, aam, trig, &mut bank_read);
+                bank_write = self.write_operand(dst, aam, trig.col, v);
+                self.ppc += 1;
+            }
+            Instruction::Add { dst, src0, src1, aam } => {
+                let a = self.read_operand(src0, aam, trig, &mut bank_read);
+                let b = self.read_operand(src1, aam, trig, &mut bank_read);
+                bank_write = self.write_operand(dst, aam, trig.col, a.add(b));
+                self.stats.flops += 16;
+                self.ppc += 1;
+            }
+            Instruction::Mul { dst, src0, src1, aam } => {
+                let a = self.read_operand(src0, aam, trig, &mut bank_read);
+                let b = self.read_operand(src1, aam, trig, &mut bank_read);
+                bank_write = self.write_operand(dst, aam, trig.col, a.mul(b));
+                self.stats.flops += 16;
+                self.ppc += 1;
+            }
+            Instruction::Mac { dst, src0, src1, aam } => {
+                let a = self.read_operand(src0, aam, trig, &mut bank_read);
+                let b = self.read_operand(src1, aam, trig, &mut bank_read);
+                let acc = self.read_operand(dst, aam, trig, &mut bank_read);
+                bank_write = self.write_operand(dst, aam, trig.col, a.mac(b, acc));
+                self.stats.flops += 32;
+                self.ppc += 1;
+            }
+            Instruction::Mad { dst, src0, src1, aam } => {
+                let a = self.read_operand(src0, aam, trig, &mut bank_read);
+                let b = self.read_operand(src1, aam, trig, &mut bank_read);
+                // SRC2 shares SRC1's index, in SRF_A (Section III-C).
+                let c_idx = Self::src_index(src1, aam, trig.col);
+                let c = self.srf_a.read_broadcast(c_idx);
+                bank_write = self.write_operand(dst, aam, trig.col, a.mac(b, c));
+                self.stats.flops += 32;
+                self.ppc += 1;
+            }
+        }
+        if self.ppc >= CRF_ENTRIES {
+            self.halted = true;
+        }
+        self.stats.instructions += 1;
+        if bank_read.is_some() {
+            self.stats.bank_reads += 1;
+        }
+        if bank_write.is_some() {
+            self.stats.bank_writes += 1;
+        }
+        ExecOutcome { executed: Some(instr), bank_write, bank_read, halted: self.halted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_fp16::F16;
+
+    fn rd_trigger(col: u32, even: [f32; 16], odd: [f32; 16]) -> Trigger {
+        Trigger {
+            kind: TriggerKind::Read,
+            row: 0,
+            col,
+            even_data: LaneVec::from_f32(even),
+            odd_data: LaneVec::from_f32(odd),
+        }
+    }
+
+    #[test]
+    fn fresh_unit_halts_immediately() {
+        let mut u = PimUnit::new();
+        let out = u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16]));
+        assert!(out.halted);
+        assert_eq!(out.executed, None);
+    }
+
+    #[test]
+    fn mov_from_bank_to_grf() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Mov {
+                dst: Operand::grf_a(2),
+                src: Operand::even_bank(),
+                relu: false,
+                aam: false,
+            },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        let out = u.execute(&rd_trigger(5, [3.0; 16], [0.0; 16]));
+        assert_eq!(out.bank_read, Some(BankPort::Even));
+        assert_eq!(u.grf_a().read(2).to_f32(), [3.0; 16]);
+        assert!(!out.halted);
+        // Next trigger hits EXIT.
+        assert!(u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16])).halted);
+    }
+
+    #[test]
+    fn mov_relu_clamps_negative() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[Instruction::Mov {
+            dst: Operand::grf_b(0),
+            src: Operand::odd_bank(),
+            relu: true,
+            aam: false,
+        }]);
+        u.reset_sequencer();
+        let mut vals = [1.0f32; 16];
+        vals[5] = -9.0;
+        u.execute(&rd_trigger(0, [0.0; 16], vals));
+        assert_eq!(u.grf_b().read(0)[5], F16::ZERO);
+        assert_eq!(u.grf_b().read(0)[0].to_f32(), 1.0);
+    }
+
+    #[test]
+    fn mac_accumulates_into_dst() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Mac {
+                dst: Operand::grf_b(0),
+                src0: Operand::even_bank(),
+                src1: Operand::srf_m(0),
+                aam: false,
+            },
+            Instruction::Jump { target: 0, count: 3 },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        u.srf_m_mut().write(0, F16::from_f32(2.0));
+        for _ in 0..3 {
+            u.execute(&rd_trigger(0, [1.5; 16], [0.0; 16]));
+        }
+        // 3 × (1.5 × 2.0) = 9.0 in every lane.
+        assert_eq!(u.grf_b().read(0).to_f32(), [9.0; 16]);
+        assert!(u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16])).halted);
+        assert_eq!(u.stats().flops, 3 * 32);
+    }
+
+    #[test]
+    fn jump_is_zero_cycle() {
+        // MAC + JUMP(count=8): exactly 8 triggers execute 8 MACs; the JUMP
+        // itself consumes no trigger.
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Mac {
+                dst: Operand::grf_a(0),
+                src0: Operand::even_bank(),
+                src1: Operand::srf_m(0),
+                aam: false,
+            },
+            Instruction::Jump { target: 0, count: 8 },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        u.srf_m_mut().write(0, F16::ONE);
+        for i in 0..8 {
+            let out = u.execute(&rd_trigger(i, [1.0; 16], [0.0; 16]));
+            assert!(matches!(out.executed, Some(Instruction::Mac { .. })), "trigger {i}");
+        }
+        assert_eq!(u.grf_a().read(0).to_f32(), [8.0; 16]);
+        assert!(u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16])).halted);
+    }
+
+    #[test]
+    fn nested_loops_via_two_jumps() {
+        // FILL SRF_M←WDATA; MAC×4 inner; outer ×2 — the GEMV kernel shape.
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Fill { dst: Operand::srf_m(0), src: Operand::wdata(), aam: false },
+            Instruction::Mac {
+                dst: Operand::grf_b(0),
+                src0: Operand::even_bank(),
+                src1: Operand::srf_m(0),
+                aam: true,
+            },
+            Instruction::Jump { target: 1, count: 4 },
+            Instruction::Jump { target: 0, count: 2 },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        let mut total = 0.0f32;
+        for outer in 0..2 {
+            // WR trigger loads 8 scalars into SRF_M.
+            let scalars: [f32; 16] = std::array::from_fn(|i| (outer * 8 + i) as f32);
+            u.execute(&Trigger {
+                kind: TriggerKind::Write(LaneVec::from_f32(scalars)),
+                row: 0,
+                col: 0,
+                even_data: LaneVec::zero(),
+                odd_data: LaneVec::zero(),
+            });
+            for c in 0..4u32 {
+                u.execute(&rd_trigger(c, [1.0; 16], [0.0; 16]));
+                total += scalars[(c & 7) as usize];
+            }
+        }
+        // GRF_B[0..4] accumulated via AAM dst index = col
+        let got: f32 = (0..4).map(|i| u.grf_b().read(i).to_f32()[0]).sum();
+        assert_eq!(got, total);
+        assert!(u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16])).halted);
+    }
+
+    #[test]
+    fn multi_cycle_nop_absorbs_triggers() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Nop { cycles: 3 },
+            Instruction::Mov {
+                dst: Operand::grf_a(0),
+                src: Operand::even_bank(),
+                relu: false,
+                aam: false,
+            },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        for _ in 0..3 {
+            let out = u.execute(&rd_trigger(0, [7.0; 16], [0.0; 16]));
+            assert!(matches!(out.executed, Some(Instruction::Nop { .. })));
+        }
+        assert_eq!(u.grf_a().read(0).to_f32(), [0.0; 16], "MOV must not have run yet");
+        u.execute(&rd_trigger(0, [7.0; 16], [0.0; 16]));
+        assert_eq!(u.grf_a().read(0).to_f32(), [7.0; 16]);
+    }
+
+    #[test]
+    fn mad_uses_srf_a_as_third_operand() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[Instruction::Mad {
+            dst: Operand::grf_a(0),
+            src0: Operand::even_bank(),
+            src1: Operand::srf_m(3),
+            aam: false,
+        }]);
+        u.reset_sequencer();
+        u.srf_m_mut().write(3, F16::from_f32(2.0));
+        u.srf_a_mut().write(3, F16::from_f32(10.0));
+        u.execute(&rd_trigger(0, [4.0; 16], [0.0; 16]));
+        // 4*2 + 10 = 18 — BN's scale-and-shift shape.
+        assert_eq!(u.grf_a().read(0).to_f32(), [18.0; 16]);
+    }
+
+    #[test]
+    fn bank_store_returns_write_back() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[Instruction::Mov {
+            dst: Operand::even_bank(),
+            src: Operand::grf_a(1),
+            relu: false,
+            aam: false,
+        }]);
+        u.reset_sequencer();
+        u.grf_a_mut().write(1, LaneVec::from_f32([5.0; 16]));
+        let out = u.execute(&rd_trigger(9, [0.0; 16], [0.0; 16]));
+        let (port, data) = out.bank_write.unwrap();
+        assert_eq!(port, BankPort::Even);
+        assert_eq!(data.to_f32(), [5.0; 16]);
+        assert_eq!(u.stats().bank_writes, 1);
+    }
+
+    #[test]
+    fn wdata_on_read_counts_and_yields_zero() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[Instruction::Fill {
+            dst: Operand::grf_a(0),
+            src: Operand::wdata(),
+            aam: false,
+        }]);
+        u.reset_sequencer();
+        u.grf_a_mut().write(0, LaneVec::from_f32([1.0; 16]));
+        u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16]));
+        assert_eq!(u.grf_a().read(0).to_f32(), [0.0; 16]);
+        assert_eq!(u.stats().wdata_on_read, 1);
+    }
+
+    #[test]
+    fn sequencer_reset_restarts_program() {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Mov {
+                dst: Operand::grf_a(0),
+                src: Operand::even_bank(),
+                relu: false,
+                aam: false,
+            },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        u.execute(&rd_trigger(0, [1.0; 16], [0.0; 16]));
+        assert!(u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16])).halted);
+        u.reset_sequencer();
+        assert!(!u.is_halted());
+        let out = u.execute(&rd_trigger(0, [2.0; 16], [0.0; 16]));
+        assert!(!out.halted);
+        assert_eq!(u.grf_a().read(0).to_f32(), [2.0; 16]);
+    }
+
+    #[test]
+    fn runaway_ppc_halts() {
+        let mut u = PimUnit::new();
+        // A single MOV with no EXIT after... CRF pads with EXIT, so fill
+        // the entire CRF with MOVs manually.
+        for i in 0..CRF_ENTRIES {
+            u.crf_mut().write_word(
+                i,
+                Instruction::Mov {
+                    dst: Operand::grf_a(0),
+                    src: Operand::even_bank(),
+                    relu: false,
+                    aam: false,
+                }
+                .encode(),
+            );
+        }
+        u.reset_sequencer();
+        for _ in 0..CRF_ENTRIES {
+            u.execute(&rd_trigger(0, [0.0; 16], [0.0; 16]));
+        }
+        assert!(u.is_halted());
+    }
+}

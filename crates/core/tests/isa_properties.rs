@@ -1,0 +1,219 @@
+//! Property-based tests for the PIM ISA and execution unit.
+
+use pim_core::isa::{Instruction, Operand, OperandKind};
+use pim_core::{LaneVec, PimUnit, Trigger, TriggerKind};
+use pim_fp16::F16;
+use proptest::prelude::*;
+
+fn any_operand_kind() -> impl Strategy<Value = OperandKind> {
+    prop_oneof![
+        Just(OperandKind::GrfA),
+        Just(OperandKind::GrfB),
+        Just(OperandKind::EvenBank),
+        Just(OperandKind::OddBank),
+        Just(OperandKind::SrfM),
+        Just(OperandKind::SrfA),
+        Just(OperandKind::Wdata),
+    ]
+}
+
+fn any_operand() -> impl Strategy<Value = Operand> {
+    (any_operand_kind(), 0u8..8).prop_map(|(k, i)| Operand::new(k, i))
+}
+
+fn any_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (1u32..0x1FFFF).prop_map(|c| Instruction::Nop { cycles: c }),
+        (0u8..32, 1u32..0x1FFFF).prop_map(|(t, c)| Instruction::Jump { target: t, count: c }),
+        Just(Instruction::Exit),
+        (any_operand(), any_operand(), any::<bool>(), any::<bool>())
+            .prop_map(|(dst, src, relu, aam)| Instruction::Mov { dst, src, relu, aam }),
+        (any_operand(), any_operand(), any::<bool>())
+            .prop_map(|(dst, src, aam)| Instruction::Fill { dst, src, aam }),
+        (any_operand(), any_operand(), any_operand(), any::<bool>())
+            .prop_map(|(dst, src0, src1, aam)| Instruction::Add { dst, src0, src1, aam }),
+        (any_operand(), any_operand(), any_operand(), any::<bool>())
+            .prop_map(|(dst, src0, src1, aam)| Instruction::Mul { dst, src0, src1, aam }),
+        (any_operand(), any_operand(), any_operand(), any::<bool>())
+            .prop_map(|(dst, src0, src1, aam)| Instruction::Mac { dst, src0, src1, aam }),
+        (any_operand(), any_operand(), any_operand(), any::<bool>())
+            .prop_map(|(dst, src0, src1, aam)| Instruction::Mad { dst, src0, src1, aam }),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction encodes to 32 bits and decodes back
+    /// to itself — the Table III format is lossless over the field space.
+    #[test]
+    fn encode_decode_roundtrip(instr in any_instruction()) {
+        let word = instr.encode();
+        prop_assert_eq!(Instruction::decode(word), Ok(instr));
+    }
+
+    /// Decoding never panics on arbitrary 32-bit words, and every
+    /// successfully decoded word re-encodes to a word that decodes to the
+    /// same instruction (canonicalization is stable).
+    #[test]
+    fn decode_total_and_stable(word in any::<u32>()) {
+        if let Ok(i) = Instruction::decode(word) {
+            let w2 = i.encode();
+            prop_assert_eq!(Instruction::decode(w2), Ok(i));
+        }
+    }
+
+    /// The unit never panics executing any *valid* single instruction, and
+    /// a halted unit stays halted.
+    #[test]
+    fn unit_executes_valid_programs(instr in any_instruction(), col in 0u32..32) {
+        if instr.validate().is_err() {
+            return Ok(());
+        }
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[instr, Instruction::Exit]);
+        u.reset_sequencer();
+        let trig = Trigger {
+            kind: TriggerKind::Write(LaneVec::splat(F16::from_f32(1.0))),
+            row: 0,
+            col,
+            even_data: LaneVec::splat(F16::from_f32(2.0)),
+            odd_data: LaneVec::splat(F16::from_f32(3.0)),
+        };
+        // Drive enough triggers to drain multi-cycle NOPs and loops.
+        let mut halted = false;
+        for _ in 0..200_000 {
+            let out = u.execute(&trig);
+            if out.halted {
+                halted = true;
+                break;
+            }
+        }
+        // Either the unit halted or the instruction is an unbounded NOP/JUMP
+        // longer than our trigger budget — both are fine; what matters is no
+        // panic and monotone stats.
+        prop_assert!(u.stats().instructions > 0 || halted);
+    }
+
+    /// MAC through the unit equals the scalar reference on every lane.
+    #[test]
+    fn unit_mac_matches_reference(
+        a in proptest::array::uniform16(-100.0f32..100.0),
+        b in proptest::array::uniform16(-100.0f32..100.0),
+        acc0 in -100.0f32..100.0,
+    ) {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Mac {
+                dst: Operand::grf_b(0),
+                src0: Operand::even_bank(),
+                src1: Operand::grf_a(0),
+                aam: false,
+            },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        u.grf_a_mut().write(0, LaneVec::from_f32(b));
+        u.grf_b_mut().write(0, LaneVec::splat(F16::from_f32(acc0)));
+        u.execute(&Trigger {
+            kind: TriggerKind::Read,
+            row: 0,
+            col: 0,
+            even_data: LaneVec::from_f32(a),
+            odd_data: LaneVec::zero(),
+        });
+        let got = u.grf_b().read(0);
+        for lane in 0..16 {
+            let want = F16::from_f32(a[lane])
+                .mac(F16::from_f32(b[lane]), F16::from_f32(acc0));
+            prop_assert_eq!(got[lane].to_bits(), want.to_bits(), "lane {}", lane);
+        }
+    }
+
+    /// Every valid instruction's assembly text re-assembles to itself:
+    /// the assembler and `Display` agree by construction.
+    #[test]
+    fn asm_display_roundtrip(instr in any_instruction()) {
+        if instr.validate().is_err() {
+            return Ok(());
+        }
+        // Bank/WDATA operands carry no meaningful register index; the
+        // textual form canonicalizes it to 0.
+        fn canon_op(o: Operand) -> Operand {
+            if o.kind.is_bank() || o.kind == OperandKind::Wdata {
+                Operand::new(o.kind, 0)
+            } else {
+                o
+            }
+        }
+        fn canon(i: Instruction) -> Instruction {
+            match i {
+                Instruction::Mov { dst, src, relu, aam } => {
+                    Instruction::Mov { dst: canon_op(dst), src: canon_op(src), relu, aam }
+                }
+                Instruction::Fill { dst, src, aam } => {
+                    Instruction::Fill { dst: canon_op(dst), src: canon_op(src), aam }
+                }
+                Instruction::Add { dst, src0, src1, aam } => Instruction::Add {
+                    dst: canon_op(dst),
+                    src0: canon_op(src0),
+                    src1: canon_op(src1),
+                    aam,
+                },
+                Instruction::Mul { dst, src0, src1, aam } => Instruction::Mul {
+                    dst: canon_op(dst),
+                    src0: canon_op(src0),
+                    src1: canon_op(src1),
+                    aam,
+                },
+                Instruction::Mac { dst, src0, src1, aam } => Instruction::Mac {
+                    dst: canon_op(dst),
+                    src0: canon_op(src0),
+                    src1: canon_op(src1),
+                    aam,
+                },
+                Instruction::Mad { dst, src0, src1, aam } => Instruction::Mad {
+                    dst: canon_op(dst),
+                    src0: canon_op(src0),
+                    src1: canon_op(src1),
+                    aam,
+                },
+                other => other,
+            }
+        }
+        let text = format!("{instr}");
+        let parsed = pim_core::asm::assemble(&text)
+            .map_err(|e| TestCaseError::fail(format!("`{text}`: {e}")))?;
+        prop_assert_eq!(parsed, vec![canon(instr)], "`{}`", text);
+    }
+
+    /// A JUMP loop of `n` MACs consumes exactly `n` triggers then halts on
+    /// the next — the deterministic lock-step contract the host relies on.
+    #[test]
+    fn jump_loop_trigger_count_is_exact(n in 1u32..64) {
+        let mut u = PimUnit::new();
+        u.crf_mut().load_program(&[
+            Instruction::Add {
+                dst: Operand::grf_a(0),
+                src0: Operand::grf_a(1),
+                src1: Operand::grf_b(0),
+                aam: false,
+            },
+            Instruction::Jump { target: 0, count: n },
+            Instruction::Exit,
+        ]);
+        u.reset_sequencer();
+        let trig = Trigger {
+            kind: TriggerKind::Read,
+            row: 0,
+            col: 0,
+            even_data: LaneVec::zero(),
+            odd_data: LaneVec::zero(),
+        };
+        for i in 0..n {
+            let out = u.execute(&trig);
+            prop_assert!(!out.halted, "halted early at trigger {}", i);
+            let was_add = matches!(out.executed, Some(Instruction::Add { .. }));
+            prop_assert!(was_add);
+        }
+        prop_assert!(u.execute(&trig).halted);
+    }
+}

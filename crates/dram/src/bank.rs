@@ -1,0 +1,266 @@
+//! A single DRAM bank: functional row storage plus per-bank timing state.
+//!
+//! The paper's key design philosophy is to leave the bank itself untouched
+//! ("it does not disturb the key components (i.e., subarray and bank) of
+//! commodity DRAM", Section III-A); the PIM execution unit sits at the
+//! bank's I/O boundary. Accordingly this model is a plain JEDEC bank — the
+//! PIM logic in `pim-core` consumes the same [`Bank::read_block`] /
+//! [`Bank::write_block`] interface the chip-external I/O path does.
+
+use crate::command::{DataBlock, DATA_BLOCK_BYTES};
+use crate::timing::Cycle;
+use std::collections::HashMap;
+
+/// Bytes per DRAM row (page) per bank, per pseudo channel: 1 KiB for HBM2.
+pub const ROW_BYTES: usize = 1024;
+/// Number of 32-byte column blocks per row.
+pub const COLS_PER_ROW: u32 = (ROW_BYTES / DATA_BLOCK_BYTES) as u32;
+/// Rows per bank. 8192 rows × 1 KiB × 16 banks × 4 pCH = 512 MiB per die
+/// (4 Gb, the paper's PIM-HBM die capacity in Section VI).
+pub const ROWS_PER_BANK: u32 = 8192;
+
+/// The row-buffer state of a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// No row is open.
+    Closed,
+    /// `row` is open in the row buffer (sense amplifiers).
+    Open(u32),
+}
+
+/// One DRAM bank: an array of rows with an open-row (row buffer) state
+/// machine and the per-bank timing horizon.
+///
+/// Rows are materialized lazily; untouched rows read as zero bytes, which
+/// stands in for an initialized device.
+///
+/// # Example
+///
+/// ```
+/// use pim_dram::{Bank, BankState};
+/// let mut bank = Bank::new();
+/// assert_eq!(bank.state(), BankState::Closed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    rows: HashMap<u32, Box<[u8]>>,
+    /// Earliest cycle an ACT may issue (tRC after previous ACT, tRP after
+    /// precharge completes).
+    pub(crate) next_act: Cycle,
+    /// Earliest cycle a column command may issue (tRCD after ACT).
+    pub(crate) next_col: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS after ACT, tWR after write data,
+    /// tRTP after read).
+    pub(crate) next_pre: Cycle,
+    /// Cycle of the most recent ACT, for tRAS accounting.
+    pub(crate) last_act: Cycle,
+}
+
+impl Default for Bank {
+    fn default() -> Bank {
+        Bank::new()
+    }
+}
+
+impl Bank {
+    /// Creates a closed, zero-initialized bank.
+    pub fn new() -> Bank {
+        Bank {
+            state: BankState::Closed,
+            rows: HashMap::new(),
+            next_act: 0,
+            next_col: 0,
+            next_pre: 0,
+            last_act: 0,
+        }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The open row, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        match self.state {
+            BankState::Open(r) => Some(r),
+            BankState::Closed => None,
+        }
+    }
+
+    /// Records an ACT at `cycle` with the given timing parameters.
+    ///
+    /// The caller (the pseudo channel) has already validated legality.
+    pub(crate) fn do_activate(&mut self, row: u32, cycle: Cycle, t: &crate::TimingParams) {
+        debug_assert!(row < ROWS_PER_BANK, "row {row} out of range");
+        debug_assert_eq!(self.state, BankState::Closed);
+        self.state = BankState::Open(row);
+        self.last_act = cycle;
+        self.next_col = cycle + t.t_rcd;
+        self.next_pre = cycle + t.t_ras;
+        self.next_act = cycle + t.t_rc;
+    }
+
+    /// Records a PRE at `cycle`.
+    pub(crate) fn do_precharge(&mut self, cycle: Cycle, t: &crate::TimingParams) {
+        self.state = BankState::Closed;
+        self.next_act = self.next_act.max(cycle + t.t_rp);
+    }
+
+    /// Records a column read at `cycle`; extends the precharge horizon by
+    /// tRTP.
+    pub(crate) fn note_read(&mut self, cycle: Cycle, t: &crate::TimingParams) {
+        self.next_pre = self.next_pre.max(cycle + t.t_rtp);
+    }
+
+    /// Records a column write at `cycle`; extends the precharge horizon to
+    /// write-data end plus tWR.
+    pub(crate) fn note_write(&mut self, cycle: Cycle, t: &crate::TimingParams) {
+        self.next_pre = self.next_pre.max(cycle + t.t_wl + t.t_bl + t.t_wr);
+    }
+
+    /// Reads the 32-byte block at `col` of the **open** row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is open or `col` is out of range — the pseudo
+    /// channel validates both before calling.
+    pub fn read_block(&self, col: u32) -> DataBlock {
+        let row = self.open_row().expect("read with no open row");
+        assert!(col < COLS_PER_ROW, "column {col} out of range");
+        let mut block = [0u8; DATA_BLOCK_BYTES];
+        if let Some(data) = self.rows.get(&row) {
+            let off = col as usize * DATA_BLOCK_BYTES;
+            block.copy_from_slice(&data[off..off + DATA_BLOCK_BYTES]);
+        }
+        block
+    }
+
+    /// Writes the 32-byte block at `col` of the **open** row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is open or `col` is out of range.
+    pub fn write_block(&mut self, col: u32, data: &DataBlock) {
+        let row = self.open_row().expect("write with no open row");
+        assert!(col < COLS_PER_ROW, "column {col} out of range");
+        let storage = self
+            .rows
+            .entry(row)
+            .or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
+        let off = col as usize * DATA_BLOCK_BYTES;
+        storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(data);
+    }
+
+    /// Direct backdoor read used by test assertions and by the functional
+    /// loader of the software stack (modelling DMA initialization): reads a
+    /// block without touching row-buffer or timing state.
+    pub fn peek_block(&self, row: u32, col: u32) -> DataBlock {
+        assert!(row < ROWS_PER_BANK && col < COLS_PER_ROW);
+        let mut block = [0u8; DATA_BLOCK_BYTES];
+        if let Some(data) = self.rows.get(&row) {
+            let off = col as usize * DATA_BLOCK_BYTES;
+            block.copy_from_slice(&data[off..off + DATA_BLOCK_BYTES]);
+        }
+        block
+    }
+
+    /// Direct backdoor write (see [`Bank::peek_block`]).
+    pub fn poke_block(&mut self, row: u32, col: u32, data: &DataBlock) {
+        assert!(row < ROWS_PER_BANK && col < COLS_PER_ROW);
+        let storage = self
+            .rows
+            .entry(row)
+            .or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
+        let off = col as usize * DATA_BLOCK_BYTES;
+        storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(data);
+    }
+
+    /// Number of rows that have been materialized (written at least once).
+    pub fn touched_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimingParams;
+
+    #[test]
+    fn new_bank_is_closed_and_zeroed() {
+        let bank = Bank::new();
+        assert_eq!(bank.state(), BankState::Closed);
+        assert_eq!(bank.open_row(), None);
+        assert_eq!(bank.peek_block(0, 0), [0u8; 32]);
+        assert_eq!(bank.touched_rows(), 0);
+    }
+
+    #[test]
+    fn activate_read_write_cycle() {
+        let t = TimingParams::hbm2();
+        let mut bank = Bank::new();
+        bank.do_activate(5, 100, &t);
+        assert_eq!(bank.open_row(), Some(5));
+        assert_eq!(bank.next_col, 100 + t.t_rcd);
+        assert_eq!(bank.next_pre, 100 + t.t_ras);
+        assert_eq!(bank.next_act, 100 + t.t_rc);
+
+        let data = [7u8; 32];
+        bank.write_block(3, &data);
+        assert_eq!(bank.read_block(3), data);
+        // Other columns remain zero.
+        assert_eq!(bank.read_block(4), [0u8; 32]);
+        assert_eq!(bank.touched_rows(), 1);
+
+        bank.do_precharge(200, &t);
+        assert_eq!(bank.state(), BankState::Closed);
+        // Data persists across precharge.
+        assert_eq!(bank.peek_block(5, 3), data);
+    }
+
+    #[test]
+    fn write_extends_precharge_horizon() {
+        let t = TimingParams::hbm2();
+        let mut bank = Bank::new();
+        bank.do_activate(0, 0, &t);
+        let before = bank.next_pre;
+        bank.note_write(100, &t);
+        assert!(bank.next_pre > before);
+        assert_eq!(bank.next_pre, 100 + t.t_wl + t.t_bl + t.t_wr);
+    }
+
+    #[test]
+    fn read_extends_precharge_horizon_by_rtp() {
+        let t = TimingParams::hbm2();
+        let mut bank = Bank::new();
+        bank.do_activate(0, 0, &t);
+        bank.note_read(1000, &t);
+        assert_eq!(bank.next_pre, 1000 + t.t_rtp);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open row")]
+    fn read_closed_bank_panics() {
+        Bank::new().read_block(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_bounds_checked() {
+        let t = TimingParams::hbm2();
+        let mut bank = Bank::new();
+        bank.do_activate(0, 0, &t);
+        bank.read_block(COLS_PER_ROW);
+    }
+
+    #[test]
+    fn poke_then_activate_read_sees_data() {
+        let t = TimingParams::hbm2();
+        let mut bank = Bank::new();
+        bank.poke_block(11, 2, &[0x5A; 32]);
+        bank.do_activate(11, 0, &t);
+        assert_eq!(bank.read_block(2), [0x5A; 32]);
+    }
+}

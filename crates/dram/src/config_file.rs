@@ -1,0 +1,227 @@
+//! Plain-text timing configuration files, DRAMSim2 style.
+//!
+//! The paper's own design-space exploration ran on "a modified version of
+//! DRAMSim2" (Section VII-D), which reads `key=value` device files. This
+//! module gives the reproduction the same workflow: timing parameter sets
+//! load from text, so experiments can swap devices without recompiling.
+//!
+//! Format: one `KEY=value` per line, `;` or `#` comments, keys matching
+//! the [`crate::TimingParams`] fields in upper snake case (e.g. `TCCD_L=4`).
+//! Unknown keys are errors (typos must not silently become defaults);
+//! missing keys inherit from the base preset named by `BASE=` (default
+//! `hbm2`).
+
+use crate::timing::TimingParams;
+use std::fmt;
+
+/// A configuration-file parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Line of the error (0 for file-level problems).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn base_preset(name: &str, line: usize) -> Result<TimingParams, ConfigError> {
+    match name {
+        "hbm2" => Ok(TimingParams::hbm2()),
+        "hbm2_2gbps" => Ok(TimingParams::hbm2_2gbps()),
+        "gddr6" => Ok(TimingParams::gddr6()),
+        "lpddr5" => Ok(TimingParams::lpddr5()),
+        "ddr5" => Ok(TimingParams::ddr5()),
+        other => Err(ConfigError {
+            line,
+            message: format!(
+                "unknown BASE preset `{other}` (expected hbm2, hbm2_2gbps, gddr6, lpddr5, ddr5)"
+            ),
+        }),
+    }
+}
+
+/// Parses a timing configuration from text.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] for syntax problems, unknown keys, unknown
+/// base presets, or a final parameter set that fails
+/// [`TimingParams::validate`].
+///
+/// ```
+/// use pim_dram::config_file::parse_timing;
+/// let t = parse_timing("BASE=hbm2\nTCCD_L = 6 ; slower bank group\n").unwrap();
+/// assert_eq!(t.t_ccd_l, 6);
+/// ```
+pub fn parse_timing(source: &str) -> Result<TimingParams, ConfigError> {
+    // First pass: find the base.
+    let mut base = TimingParams::hbm2();
+    let mut assignments: Vec<(usize, String, String)> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line = i + 1;
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = text.split_once('=') else {
+            return Err(ConfigError {
+                line,
+                message: format!("expected KEY=value, got `{text}`"),
+            });
+        };
+        let key = key.trim().to_ascii_uppercase();
+        let value = value.trim().to_string();
+        if key == "BASE" {
+            base = base_preset(&value, line)?;
+        } else {
+            assignments.push((line, key, value));
+        }
+    }
+    let mut t = base;
+    let mut trc_explicit = false;
+    for (line, key, value) in assignments {
+        let v: u64 = value.parse().map_err(|_| ConfigError {
+            line,
+            message: format!("`{key}` needs an unsigned integer, got `{value}`"),
+        })?;
+        match key.as_str() {
+            "BUS_MHZ" => t.bus_mhz = v,
+            "TRCD" => t.t_rcd = v,
+            "TRP" => t.t_rp = v,
+            "TRAS" => t.t_ras = v,
+            "TRC" => {
+                t.t_rc = v;
+                trc_explicit = true;
+            }
+            "TCCD_S" => t.t_ccd_s = v,
+            "TCCD_L" => t.t_ccd_l = v,
+            "TRRD_S" => t.t_rrd_s = v,
+            "TRRD_L" => t.t_rrd_l = v,
+            "TFAW" => t.t_faw = v,
+            "TCL" => t.t_cl = v,
+            "TWL" => t.t_wl = v,
+            "TBL" => t.t_bl = v,
+            "TWR" => t.t_wr = v,
+            "TRTP" => t.t_rtp = v,
+            "TWTR" => t.t_wtr = v,
+            "TRTW" => t.t_rtw = v,
+            "TREFI" => t.t_refi = v,
+            "TRFC" => t.t_rfc = v,
+            other => {
+                return Err(ConfigError {
+                    line,
+                    message: format!("unknown timing parameter `{other}`"),
+                })
+            }
+        }
+    }
+    // tRC is structurally tRAS + tRP; recompute unless explicitly set.
+    if !trc_explicit {
+        t.t_rc = t.t_ras + t.t_rp;
+    }
+    t.validate().map_err(|m| ConfigError { line: 0, message: m })?;
+    Ok(t)
+}
+
+/// Serializes a parameter set back to the file format (inverse of
+/// [`parse_timing`] for round-trip workflows).
+pub fn render_timing(t: &TimingParams) -> String {
+    format!(
+        "BUS_MHZ={}\nTRCD={}\nTRP={}\nTRAS={}\nTRC={}\nTCCD_S={}\nTCCD_L={}\n\
+         TRRD_S={}\nTRRD_L={}\nTFAW={}\nTCL={}\nTWL={}\nTBL={}\nTWR={}\nTRTP={}\n\
+         TWTR={}\nTRTW={}\nTREFI={}\nTRFC={}\n",
+        t.bus_mhz,
+        t.t_rcd,
+        t.t_rp,
+        t.t_ras,
+        t.t_rc,
+        t.t_ccd_s,
+        t.t_ccd_l,
+        t.t_rrd_s,
+        t.t_rrd_l,
+        t.t_faw,
+        t.t_cl,
+        t.t_wl,
+        t.t_bl,
+        t.t_wr,
+        t.t_rtp,
+        t.t_wtr,
+        t.t_rtw,
+        t.t_refi,
+        t.t_rfc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_hbm2() {
+        let t = parse_timing("").unwrap();
+        assert_eq!(t, TimingParams::hbm2());
+    }
+
+    #[test]
+    fn base_selection_and_overrides() {
+        let t = parse_timing("BASE=gddr6\nTCL=30\n").unwrap();
+        assert_eq!(t.bus_mhz, TimingParams::gddr6().bus_mhz);
+        assert_eq!(t.t_cl, 30);
+    }
+
+    #[test]
+    fn comments_whitespace_and_case() {
+        let t = parse_timing("# header\n  tccd_l = 8  ; slow\n\n").unwrap();
+        assert_eq!(t.t_ccd_l, 8);
+    }
+
+    #[test]
+    fn trc_recomputed_from_ras_rp() {
+        let t = parse_timing("TRAS=50\nTRP=20\n").unwrap();
+        assert_eq!(t.t_rc, 70);
+        // Explicit TRC wins (and must still validate).
+        let e = parse_timing("TRAS=50\nTRP=20\nTRC=60\n").unwrap_err();
+        assert!(e.message.contains("tRC"));
+    }
+
+    #[test]
+    fn errors_are_precise() {
+        let e = parse_timing("TCCD_X=4").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("TCCD_X"));
+        let e = parse_timing("TCL=fast").unwrap_err();
+        assert!(e.message.contains("unsigned integer"));
+        let e = parse_timing("garbage line").unwrap_err();
+        assert!(e.message.contains("KEY=value"));
+        let e = parse_timing("BASE=hbm9").unwrap_err();
+        assert!(e.message.contains("hbm9"));
+    }
+
+    #[test]
+    fn invalid_final_set_rejected() {
+        let e = parse_timing("TCCD_L=1\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("tCCD_L"));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        for t in [
+            TimingParams::hbm2(),
+            TimingParams::gddr6(),
+            TimingParams::lpddr5(),
+            TimingParams::ddr5(),
+        ] {
+            let text = render_timing(&t);
+            let back = parse_timing(&text).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+}

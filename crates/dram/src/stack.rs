@@ -1,0 +1,166 @@
+//! An HBM stack ("cube"): 16 independent pseudo channels with per-channel
+//! controllers.
+//!
+//! The paper's evaluation system 2.5D-integrates **four** stacks with the
+//! processor (Section VI), for 64 pseudo channels total; `pim-host` composes
+//! multiple stacks. Each pseudo channel has its own controller because "the
+//! host processor can independently control PIM operations of each memory
+//! channel" (Section III-A).
+
+use crate::channel::CommandSink;
+use crate::controller::{ControllerConfig, MemoryController};
+use crate::mapping::AddressMapping;
+use crate::request::{CompletedRequest, Request};
+use crate::timing::Cycle;
+
+/// A set of 16 pseudo channels, each behind its own [`MemoryController`].
+///
+/// Generic over the sink type so the same stack plumbing serves plain HBM2
+/// (`HbmStack<PseudoChannel>`) and PIM-HBM (`HbmStack<PimChannel>` in
+/// `pim-core`).
+#[derive(Debug)]
+pub struct HbmStack<S: CommandSink> {
+    controllers: Vec<MemoryController<S>>,
+    mapping: AddressMapping,
+}
+
+impl<S: CommandSink> HbmStack<S> {
+    /// Builds a stack by constructing one sink per pseudo channel.
+    pub fn from_sinks<F>(config: &ControllerConfig, mut make_sink: F) -> HbmStack<S>
+    where
+        F: FnMut(usize) -> S,
+    {
+        let mapping = config.mapping.clone();
+        let controllers = (0..mapping.pch_count())
+            .map(|pch| {
+                let mut c = config.clone();
+                c.pch_id = pch;
+                MemoryController::with_sink(c, make_sink(pch))
+            })
+            .collect();
+        HbmStack { controllers, mapping }
+    }
+
+    /// The stack's address mapping.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Number of pseudo channels.
+    pub fn pch_count(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The controller for a pseudo channel.
+    pub fn controller(&self, pch: usize) -> &MemoryController<S> {
+        &self.controllers[pch]
+    }
+
+    /// Mutable controller access.
+    pub fn controller_mut(&mut self, pch: usize) -> &mut MemoryController<S> {
+        &mut self.controllers[pch]
+    }
+
+    /// Routes a request to its channel by physical address.
+    pub fn enqueue(&mut self, req: Request) {
+        let pch = self.mapping.decode(req.addr).pch;
+        self.controllers[pch].enqueue(req);
+    }
+
+    /// Drains every channel; returns all completions (per-channel completion
+    /// order, channels concatenated) and the cycle at which the slowest
+    /// channel finished.
+    ///
+    /// Channels run in parallel in real hardware; the returned `finish`
+    /// cycle is the max over channels, which is the system-level latency.
+    pub fn run_all(&mut self) -> (Vec<CompletedRequest>, Cycle) {
+        let mut done = Vec::new();
+        let mut finish = 0;
+        for c in &mut self.controllers {
+            let d = c.run_to_completion();
+            if let Some(last) = d.iter().map(|r| r.completed_at).max() {
+                finish = finish.max(last);
+            }
+            done.extend(d);
+        }
+        (done, finish)
+    }
+
+    /// Synchronizes all channels' local clocks to the latest one — a global
+    /// barrier, as issued between dependent PIM kernel phases.
+    pub fn barrier(&mut self) -> Cycle {
+        let now = self.controllers.iter().map(|c| c.now()).max().unwrap_or(0);
+        for c in &mut self.controllers {
+            c.advance_to(now);
+        }
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::PseudoChannel;
+    use crate::{ControllerConfig, TimingParams};
+
+    fn stack() -> HbmStack<PseudoChannel> {
+        let cfg = ControllerConfig { refresh_enabled: false, ..Default::default() };
+        HbmStack::from_sinks(&cfg, |_| PseudoChannel::new(TimingParams::hbm2()))
+    }
+
+    #[test]
+    fn routes_by_address() {
+        let mut s = stack();
+        // 256-byte stride sweeps channels.
+        for i in 0..16u64 {
+            s.enqueue(Request::write(i * 256, [i as u8; 32]));
+        }
+        let (done, _) = s.run_all();
+        assert_eq!(done.len(), 16);
+        for pch in 0..16 {
+            assert_eq!(s.controller(pch).sink().stats().writes, 1, "pch {pch}");
+        }
+    }
+
+    #[test]
+    fn write_then_read_across_channels() {
+        let mut s = stack();
+        for i in 0..32u64 {
+            s.enqueue(Request::write(i * 32, [(i + 1) as u8; 32]));
+        }
+        s.run_all();
+        for i in 0..32u64 {
+            s.enqueue(Request::read(i * 32));
+        }
+        let (done, _) = s.run_all();
+        for d in done {
+            let i = d.addr / 32;
+            assert_eq!(d.data, Some([(i + 1) as u8; 32]));
+        }
+    }
+
+    #[test]
+    fn parallel_channels_finish_concurrently() {
+        let mut s = stack();
+        // One read per channel: the stack finish time equals a single
+        // channel's latency, not 16×.
+        for i in 0..16u64 {
+            s.enqueue(Request::read(i * 256));
+        }
+        let (_, finish) = s.run_all();
+        let t = TimingParams::hbm2();
+        assert_eq!(finish, t.t_rcd + t.t_cl + t.t_bl);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut s = stack();
+        s.enqueue(Request::read(0));
+        s.run_all();
+        let now = s.barrier();
+        assert!(now > 0);
+        for pch in 0..16 {
+            assert_eq!(s.controller(pch).now(), now);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Statistics counters for channels and the memory controller.
+
+use crate::timing::Cycle;
+
+/// Per-pseudo-channel command counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// ACT commands issued.
+    pub acts: u64,
+    /// Column read commands issued.
+    pub reads: u64,
+    /// Column write commands issued.
+    pub writes: u64,
+    /// PRE / PREA commands issued.
+    pub pres: u64,
+    /// REF commands issued.
+    pub refreshes: u64,
+}
+
+impl ChannelStats {
+    /// Total column commands (reads + writes).
+    pub fn column_commands(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Bytes moved across the channel data bus by column commands.
+    pub fn data_bytes(&self) -> u64 {
+        self.column_commands() * crate::DATA_BLOCK_BYTES as u64
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.acts += other.acts;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.pres += other.pres;
+        self.refreshes += other.refreshes;
+    }
+}
+
+/// Memory-controller level statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Requests that hit an already-open row.
+    pub row_hits: u64,
+    /// Requests that opened a closed row.
+    pub row_misses: u64,
+    /// Requests that had to close a different open row first.
+    pub row_conflicts: u64,
+    /// Requests the scheduler issued out of arrival order (FR-FCFS
+    /// reordering — the behaviour AAM must tolerate, Section IV-C).
+    pub reordered: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Cycle at which the last request completed.
+    pub last_completion: Cycle,
+}
+
+impl ControllerStats {
+    /// Row-buffer hit rate over all completed requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_bytes_counts_columns() {
+        let s = ChannelStats { reads: 3, writes: 1, ..Default::default() };
+        assert_eq!(s.column_commands(), 4);
+        assert_eq!(s.data_bytes(), 128);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ChannelStats { acts: 1, reads: 2, ..Default::default() };
+        let b = ChannelStats { acts: 10, writes: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.acts, 11);
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.writes, 5);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(ControllerStats::default().row_hit_rate(), 0.0);
+        let s = ControllerStats { row_hits: 3, row_misses: 1, ..Default::default() };
+        assert_eq!(s.row_hit_rate(), 0.75);
+    }
+}

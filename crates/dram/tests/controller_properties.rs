@@ -1,0 +1,154 @@
+//! Property-based tests: the memory controller never violates DRAM timing
+//! or functional correctness under random request streams.
+
+use pim_dram::{
+    AddressMapping, ControllerConfig, MemoryController, Request, RequestKind, SchedulingPolicy,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random 32-byte-aligned address within pseudo channel 0, constrained to
+/// a few rows/banks so streams collide and exercise conflicts.
+fn pch0_addr() -> impl Strategy<Value = u64> {
+    let m = AddressMapping::new(16);
+    (0u32..4, 0u8..4, 0u8..4, 0u32..8).prop_map(move |(row, bg, ba, col)| {
+        m.block_addr(0, pim_dram::BankAddr::new(bg, ba), row, col * 4)
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Write(u64, u8),
+}
+
+fn ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            pch0_addr().prop_map(Op::Read),
+            (pch0_addr(), any::<u8>()).prop_map(|(a, v)| Op::Write(a, v)),
+        ],
+        1..max_len,
+    )
+}
+
+fn run_policy(policy: SchedulingPolicy, stream: &[Op]) {
+    let mut ctrl = MemoryController::new(ControllerConfig {
+        policy,
+        refresh_enabled: false,
+        ..Default::default()
+    });
+    // Shadow memory tracks what each address should contain. Under FR-FCFS
+    // the controller may reorder *independent* requests but same-address
+    // dependencies are preserved because a row hit never jumps a same-bank,
+    // same-row older request with a smaller issue horizon... to keep the
+    // oracle exact we enqueue one at a time for FR-FCFS same-address cases:
+    // instead, we simply enqueue everything and check reads against the set
+    // of values that address held at any point (weak oracle), plus an exact
+    // oracle for the in-order policy.
+    let mut shadow: HashMap<u64, Vec<[u8; 32]>> = HashMap::new();
+    for op in stream {
+        match op {
+            Op::Read(a) => {
+                shadow.entry(*a).or_insert_with(|| vec![[0u8; 32]]);
+                ctrl.enqueue(Request::read(*a));
+            }
+            Op::Write(a, v) => {
+                let e = shadow.entry(*a).or_insert_with(|| vec![[0u8; 32]]);
+                e.push([*v; 32]);
+                ctrl.enqueue(Request::write(*a, [*v; 32]));
+            }
+        }
+    }
+    let done = ctrl.run_to_completion();
+    assert_eq!(done.len(), stream.len());
+    // Completion times strictly ordered per issue (no two column commands in
+    // the same cycle on one channel).
+    let mut issue_cycles: Vec<u64> = done.iter().map(|d| d.issued_at).collect();
+    issue_cycles.sort_unstable();
+    for w in issue_cycles.windows(2) {
+        assert!(w[1] >= w[0] + 2, "column commands closer than tCCD_S: {w:?}");
+    }
+    for d in &done {
+        if d.kind == RequestKind::Read {
+            let vals = &shadow[&d.addr];
+            let got = d.data.unwrap();
+            assert!(
+                vals.contains(&got),
+                "read of 0x{:X} returned {:?} which was never written",
+                d.addr,
+                &got[0]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FR-FCFS: every request completes, column commands respect tCCD_S,
+    /// reads only ever observe values that were written to the address.
+    #[test]
+    fn frfcfs_is_safe(stream in ops(40)) {
+        run_policy(SchedulingPolicy::FrFcfs, &stream);
+    }
+
+    /// In-order: additionally, reads observe exactly the last value written
+    /// before them in program order.
+    #[test]
+    fn inorder_is_sequentially_consistent(stream in ops(40)) {
+        let mut ctrl = MemoryController::new(ControllerConfig {
+            policy: SchedulingPolicy::InOrder,
+            refresh_enabled: false,
+            ..Default::default()
+        });
+        let mut shadow: HashMap<u64, [u8; 32]> = HashMap::new();
+        let mut expect: Vec<Option<[u8; 32]>> = Vec::new();
+        for op in &stream {
+            match op {
+                Op::Read(a) => {
+                    expect.push(Some(*shadow.get(a).unwrap_or(&[0u8; 32])));
+                    ctrl.enqueue(Request::read(*a));
+                }
+                Op::Write(a, v) => {
+                    shadow.insert(*a, [*v; 32]);
+                    expect.push(None);
+                    ctrl.enqueue(Request::write(*a, [*v; 32]));
+                }
+            }
+        }
+        let done = ctrl.run_to_completion();
+        for d in &done {
+            if let Some(want) = expect[d.seq as usize] {
+                prop_assert_eq!(d.data.unwrap(), want, "seq {}", d.seq);
+            }
+        }
+    }
+
+    /// The same stream completes no later under FR-FCFS than in-order:
+    /// reordering exists to improve performance (Rixner et al. [47]).
+    /// (Weak form: allow equality.)
+    #[test]
+    fn frfcfs_not_slower(stream in ops(30)) {
+        let run = |policy| {
+            let mut ctrl = MemoryController::new(ControllerConfig {
+                policy,
+                refresh_enabled: false,
+                ..Default::default()
+            });
+            for op in &stream {
+                match op {
+                    Op::Read(a) => { ctrl.enqueue(Request::read(*a)); }
+                    Op::Write(a, v) => { ctrl.enqueue(Request::write(*a, [*v; 32])); }
+                }
+            }
+            let done = ctrl.run_to_completion();
+            done.iter().map(|d| d.completed_at).max().unwrap_or(0)
+        };
+        let frfcfs = run(SchedulingPolicy::FrFcfs);
+        let inorder = run(SchedulingPolicy::InOrder);
+        // FR-FCFS is a heuristic: allow a small constant slack, but it must
+        // never be catastrophically worse.
+        prop_assert!(frfcfs <= inorder + 64, "FR-FCFS {frfcfs} vs in-order {inorder}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Power-over-time traces (Fig. 13: "Average system power of DS2 over
+//! time").
+
+use crate::system::{HostPowerState, SystemPowerModel};
+
+/// One execution phase of an application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerPhase {
+    /// Human-readable label (layer / kernel name).
+    pub label: String,
+    /// Duration in seconds.
+    pub seconds: f64,
+    /// Host activity during the phase.
+    pub host: HostPowerState,
+    /// Memory power during the phase, in watts.
+    pub memory_w: f64,
+}
+
+/// A sequence of phases with sampling into a uniform time series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerTrace {
+    phases: Vec<PowerPhase>,
+}
+
+impl PowerTrace {
+    /// An empty trace.
+    pub fn new() -> PowerTrace {
+        PowerTrace::default()
+    }
+
+    /// Appends a phase.
+    pub fn push(&mut self, label: impl Into<String>, seconds: f64, host: HostPowerState, memory_w: f64) {
+        assert!(seconds >= 0.0, "negative phase duration");
+        self.phases.push(PowerPhase { label: label.into(), seconds, host, memory_w });
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[PowerPhase] {
+        &self.phases
+    }
+
+    /// Total duration in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Total energy in joules under `model`.
+    pub fn total_energy_j(&self, model: &SystemPowerModel) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| model.phase_energy_j(p.host, p.memory_w, p.seconds))
+            .sum()
+    }
+
+    /// Time-averaged system power in watts.
+    pub fn average_power_w(&self, model: &SystemPowerModel) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j(model) / t
+        }
+    }
+
+    /// Samples the instantaneous system power at `samples` uniform points —
+    /// the Fig. 13 time series.
+    pub fn sample(&self, model: &SystemPowerModel, samples: usize) -> Vec<(f64, f64)> {
+        assert!(samples > 0);
+        let total = self.total_seconds();
+        if total == 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let t = total * (s as f64 + 0.5) / samples as f64;
+            let mut acc = 0.0;
+            let mut w = model.host_power_w(HostPowerState::Idle);
+            for p in &self.phases {
+                if t < acc + p.seconds {
+                    w = model.system_power_w(p.host, p.memory_w);
+                    break;
+                }
+                acc += p.seconds;
+            }
+            out.push((t, w));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_integrates_phases() {
+        let m = SystemPowerModel::paper();
+        let mut tr = PowerTrace::new();
+        tr.push("compute", 1.0, HostPowerState::Compute, 10.0);
+        tr.push("idle", 1.0, HostPowerState::Idle, 5.0);
+        let e = tr.total_energy_j(&m);
+        let want = (m.host_compute_w + 10.0) + (m.host_idle_w + 5.0);
+        assert!((e - want).abs() < 1e-9);
+        assert_eq!(tr.total_seconds(), 2.0);
+        assert!((tr.average_power_w(&m) - want / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_tracks_phase_boundaries() {
+        let m = SystemPowerModel::paper();
+        let mut tr = PowerTrace::new();
+        tr.push("a", 1.0, HostPowerState::Compute, 0.0);
+        tr.push("b", 1.0, HostPowerState::Idle, 0.0);
+        let s = tr.sample(&m, 4);
+        assert_eq!(s.len(), 4);
+        assert!(s[0].1 > s[3].1, "compute phase first, idle later");
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let m = SystemPowerModel::paper();
+        let tr = PowerTrace::new();
+        assert_eq!(tr.average_power_w(&m), 0.0);
+        assert!(tr.sample(&m, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_duration_rejected() {
+        PowerTrace::new().push("x", -1.0, HostPowerState::Idle, 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! bfloat16: the format the paper evaluates in Table I and rejects in favour
+//! of FP16 (Section III-C) because FP16 is natively supported by host
+//! processors and legacy libraries.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A bfloat16 floating-point number: 1 sign bit, 8 exponent bits (bias 127),
+/// 7 fraction bits — the top half of an `f32` bit pattern.
+///
+/// The paper's Table I measures a BFLOAT16 MAC at 1.15× the area and 1.04×
+/// the energy of the INT16 baseline (slightly cheaper than FP16's 1.32×/
+/// 1.21×) but the product ships FP16. We implement bfloat16 anyway so the
+/// Table I reproduction and the ablation benches can exercise it.
+///
+/// # Example
+///
+/// ```
+/// use pim_fp16::Bf16;
+///
+/// let x = Bf16::from_f32(3.0);
+/// assert_eq!((x * Bf16::from_f32(2.0)).to_f32(), 6.0);
+/// // bfloat16 keeps FP32's dynamic range:
+/// assert!(Bf16::from_f32(1e38).is_finite());
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct Bf16(u16);
+
+const EXP_MASK: u16 = 0x7F80;
+const FRAC_MASK: u16 = 0x007F;
+const SIGN_MASK: u16 = 0x8000;
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+    /// Largest finite value (`0x7F7F` ≈ 3.39e38).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+
+    /// Creates a value from its raw bfloat16 bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to bfloat16 with round-to-nearest-even.
+    ///
+    /// bfloat16 is the upper 16 bits of binary32, so the conversion is a
+    /// single rounding of the low 16 bits. The paper notes this "simple
+    /// conversion from FP32" as bfloat16's design rationale.
+    pub fn from_f32(value: f32) -> Bf16 {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Keep quiet; preserve sign and top payload bit.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        // Overflow of the rounding add carries into the exponent and, at the
+        // very top, into infinity — both are the correct RNE results.
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts to `f32` (exact: appends 16 zero bits).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// `true` if NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & FRAC_MASK) != 0
+    }
+
+    /// `true` if positive or negative infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & FRAC_MASK) == 0
+    }
+
+    /// `true` if neither infinite nor NaN.
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// `true` if positive or negative zero.
+    pub fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// `true` if the sign bit is set.
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// ReLU as a sign-bit mux, mirroring [`crate::F16::relu`].
+    pub fn relu(self) -> Bf16 {
+        if self.is_sign_negative() {
+            Bf16::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Two-step rounded MAC, mirroring [`crate::F16::mac`].
+    pub fn mac(self, b: Bf16, acc: Bf16) -> Bf16 {
+        (self * b) + acc
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({} /* 0x{:04X} */)", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialEq for Bf16 {
+    fn eq(&self, other: &Bf16) -> bool {
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        if self.is_zero() && other.is_zero() {
+            return true;
+        }
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Bf16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(v: f32) -> Bf16 {
+        Bf16::from_f32(v)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl Add for Bf16 {
+    type Output = Bf16;
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for Bf16 {
+    type Output = Bf16;
+    fn sub(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for Bf16 {
+    type Output = Bf16;
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for Bf16 {
+    type Output = Bf16;
+    fn div(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_upper_half_of_f32() {
+        let x = 1.5f32;
+        assert_eq!(Bf16::from_f32(x).to_bits(), (x.to_bits() >> 16) as u16);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        // 1.0 + 2^-8 is exactly the midpoint between 1.0 (even) and 1.0+2^-7.
+        let mid = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(mid).to_bits(), 0x3F80);
+        // One bit above the midpoint rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(above).to_bits(), 0x3F81);
+        // Midpoint above an odd value rounds up to even.
+        let mid_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(Bf16::from_f32(mid_odd).to_bits(), 0x3F82);
+    }
+
+    #[test]
+    fn preserves_f32_dynamic_range() {
+        assert!(Bf16::from_f32(1e38).is_finite());
+        assert!(Bf16::from_f32(1e-38).to_f32() > 0.0);
+        // FP16 would overflow at the same magnitude.
+        assert!(crate::F16::from_f32(1e38).is_infinite());
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert_eq!(Bf16::from_f32(f32::MAX), Bf16::INFINITY);
+        assert_eq!(Bf16::from_f32(-f32::MAX), Bf16::NEG_INFINITY);
+        assert_eq!(Bf16::MAX.to_f32(), f32::from_bits(0x7F7F_0000));
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::NAN.is_nan());
+        assert!((Bf16::NAN + Bf16::ONE).is_nan());
+        assert!(Bf16::NAN != Bf16::NAN);
+    }
+
+    #[test]
+    fn relu_mux() {
+        assert_eq!(Bf16::from_f32(-2.0).relu(), Bf16::ZERO);
+        assert_eq!(Bf16::from_f32(2.0).relu(), Bf16::from_f32(2.0));
+    }
+
+    #[test]
+    fn mac_two_step() {
+        let r = Bf16::from_f32(2.0).mac(Bf16::from_f32(3.0), Bf16::ONE);
+        assert_eq!(r.to_f32(), 7.0);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip() {
+        for bits in 0u16..=u16::MAX {
+            let b = Bf16::from_bits(bits);
+            let rt = Bf16::from_f32(b.to_f32());
+            if b.is_nan() {
+                assert!(rt.is_nan());
+            } else {
+                assert_eq!(rt.to_bits(), bits, "bits 0x{bits:04X}");
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Pure bit-level binary16 arithmetic — no host floating point involved.
+//!
+//! [`crate::F16`]'s operators compute through `f32` and rely on the
+//! double-rounding theorem (see the crate docs). This module implements
+//! multiplication and addition directly on the bit patterns, the way the
+//! PIM unit's FPU actually does it in silicon, and the test suite
+//! cross-checks the two implementations over exhaustive single-operand
+//! sweeps and large random samples. Two independent derivations agreeing
+//! bit-for-bit is the strongest evidence either is right.
+
+const EXP_MASK: u16 = 0x7C00;
+const FRAC_MASK: u16 = 0x03FF;
+const SIGN_MASK: u16 = 0x8000;
+const QNAN: u16 = 0x7E00;
+
+#[inline]
+fn is_nan(bits: u16) -> bool {
+    (bits & EXP_MASK) == EXP_MASK && (bits & FRAC_MASK) != 0
+}
+
+#[inline]
+fn is_inf(bits: u16) -> bool {
+    (bits & EXP_MASK) == EXP_MASK && (bits & FRAC_MASK) == 0
+}
+
+#[inline]
+fn is_zero(bits: u16) -> bool {
+    (bits & !SIGN_MASK) == 0
+}
+
+/// Decomposes finite nonzero bits into (unbiased exponent of the implicit
+/// point, 11-bit significand with the leading one at bit 10).
+/// Value = sig × 2^(e − 10).
+fn decompose(bits: u16) -> (i32, u32) {
+    let exp = ((bits & EXP_MASK) >> 10) as i32;
+    let frac = (bits & FRAC_MASK) as u32;
+    if exp == 0 {
+        // Subnormal: value = frac × 2^-24 = frac × 2^(-14 - 10).
+        // Normalize so bit 10 is the leading one.
+        let shift = frac.leading_zeros() - 21; // 10 - msb_position
+        (-14 - shift as i32, frac << shift)
+    } else {
+        (exp - 15, 0x400 | frac)
+    }
+}
+
+/// Packs (sign, unbiased exponent, 11-bit significand `0x400..0x800`,
+/// round, sticky) into bits with round-to-nearest-even, handling overflow
+/// to infinity and underflow through the subnormal range.
+fn pack(sign: u16, e: i32, mut sig: u32, mut round: bool, mut sticky: bool) -> u16 {
+    debug_assert!(sig == 0 || (0x400..0x800).contains(&sig));
+    if sig == 0 {
+        return sign; // signed zero (exact)
+    }
+    // Biased exponent for a normal result.
+    let be = e + 15;
+    if be <= 0 {
+        // Denormalize: shift right 1 - be positions, folding into
+        // round/sticky.
+        let shift = (1 - be) as u32;
+        if shift > 12 {
+            // Entirely below the rounding horizon: only sticky survives.
+            sticky |= sig != 0 || round;
+            round = false;
+            sig = 0;
+        } else {
+            for _ in 0..shift {
+                sticky |= round;
+                round = sig & 1 == 1;
+                sig >>= 1;
+            }
+        }
+        let mut out = sig as u16;
+        if round && (sticky || out & 1 == 1) {
+            out += 1; // may carry into the exponent: correct (min normal)
+        }
+        return sign | out;
+    }
+    if be >= 31 {
+        return sign | EXP_MASK; // overflow → infinity
+    }
+    let mut out = ((be as u16) << 10) | (sig as u16 & FRAC_MASK);
+    if round && (sticky || out & 1 == 1) {
+        out += 1; // fraction carry rolls into exponent; 0x7C00 == +inf. ✔
+    }
+    sign | out
+}
+
+/// Bit-level binary16 multiplication with round-to-nearest-even.
+///
+/// ```
+/// use pim_fp16::softfloat::mul_bits;
+/// use pim_fp16::F16;
+/// let a = F16::from_f32(1.5).to_bits();
+/// let b = F16::from_f32(-2.0).to_bits();
+/// assert_eq!(F16::from_bits(mul_bits(a, b)).to_f32(), -3.0);
+/// ```
+pub fn mul_bits(a: u16, b: u16) -> u16 {
+    let sign = (a ^ b) & SIGN_MASK;
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    if is_inf(a) || is_inf(b) {
+        if is_zero(a) || is_zero(b) {
+            return QNAN; // inf × 0
+        }
+        return sign | EXP_MASK;
+    }
+    if is_zero(a) || is_zero(b) {
+        return sign;
+    }
+    let (ea, sa) = decompose(a);
+    let (eb, sb) = decompose(b);
+    // 11 × 11 → 22-bit product; leading one at bit 21 or 20.
+    let p = sa * sb;
+    let (e, sig, rest_mask, rest_shift) = if p & (1 << 21) != 0 {
+        (ea + eb + 1, p >> 11, (1u32 << 11) - 1, 11u32)
+    } else {
+        (ea + eb, p >> 10, (1u32 << 10) - 1, 10u32)
+    };
+    let rest = p & rest_mask;
+    let half = 1u32 << (rest_shift - 1);
+    let round = rest & half != 0;
+    let sticky = rest & (half - 1) != 0;
+    pack(sign, e, sig, round, sticky)
+}
+
+/// Bit-level binary16 addition with round-to-nearest-even.
+///
+/// ```
+/// use pim_fp16::softfloat::add_bits;
+/// use pim_fp16::F16;
+/// let a = F16::from_f32(0.1).to_bits();
+/// let b = F16::from_f32(0.2).to_bits();
+/// let reference = (F16::from_f32(0.1) + F16::from_f32(0.2)).to_bits();
+/// assert_eq!(add_bits(a, b), reference);
+/// ```
+pub fn add_bits(a: u16, b: u16) -> u16 {
+    if is_nan(a) || is_nan(b) {
+        return QNAN;
+    }
+    match (is_inf(a), is_inf(b)) {
+        (true, true) => {
+            return if (a ^ b) & SIGN_MASK != 0 { QNAN } else { a };
+        }
+        (true, false) => return a,
+        (false, true) => return b,
+        _ => {}
+    }
+    if is_zero(a) && is_zero(b) {
+        // +0 + -0 = +0 (RNE); equal signs keep the sign.
+        return if a == b { a } else { 0 };
+    }
+    if is_zero(a) {
+        return b;
+    }
+    if is_zero(b) {
+        return a;
+    }
+
+    let (ea, sa) = decompose(a);
+    let (eb, sb) = decompose(b);
+    let (sign_a, sign_b) = (a & SIGN_MASK, b & SIGN_MASK);
+
+    // Order so |x| >= |y| (compare by exponent then significand).
+    let swap = (ea, sa) < (eb, sb);
+    let (ex, sx, sgx) = if swap { (eb, sb, sign_b) } else { (ea, sa, sign_a) };
+    let (ey, sy, sgy) = if swap { (ea, sa, sign_a) } else { (eb, sb, sign_b) };
+
+    // Work in fixed point with 3 extra bits (guard/round/sticky).
+    let mut x = (sx as u64) << 3;
+    let mut y = (sy as u64) << 3;
+    let diff = (ex - ey) as u32;
+    if diff >= 40 {
+        // y vanishes entirely into sticky.
+        y = 1; // sticky bit only
+    } else {
+        let shifted_out = if diff == 0 { 0 } else { y & ((1u64 << diff) - 1) };
+        y >>= diff;
+        if shifted_out != 0 {
+            y |= 1; // sticky
+        }
+    }
+    let _ = &mut x;
+
+    if sgx == sgy {
+        // Magnitude addition.
+        let mut sum = x + y;
+        let mut e = ex;
+        if sum & (1 << 14) != 0 {
+            // Carried past bit 13 (sig bit 10 <<3): renormalize.
+            let sticky = sum & 1;
+            sum = (sum >> 1) | sticky;
+            e += 1;
+        }
+        let sig = (sum >> 3) as u32;
+        let round = sum & 0b100 != 0;
+        let sticky = sum & 0b011 != 0;
+        pack(sgx, e, sig, round, sticky)
+    } else {
+        // Magnitude subtraction: x >= y.
+        let mut dif = x - y;
+        if dif == 0 {
+            return 0; // exact cancellation → +0
+        }
+        let mut e = ex;
+        // Renormalize: leading one to bit 13.
+        while dif & (1 << 13) == 0 {
+            dif <<= 1;
+            e -= 1;
+        }
+        let sig = (dif >> 3) as u32;
+        let round = dif & 0b100 != 0;
+        let sticky = dif & 0b011 != 0;
+        pack(sgx, e, sig, round, sticky)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::F16;
+
+    fn ref_mul(a: u16, b: u16) -> u16 {
+        (F16::from_bits(a) * F16::from_bits(b)).to_bits()
+    }
+
+    fn ref_add(a: u16, b: u16) -> u16 {
+        (F16::from_bits(a) + F16::from_bits(b)).to_bits()
+    }
+
+    fn agree(got: u16, want: u16) -> bool {
+        if is_nan(want) {
+            is_nan(got)
+        } else {
+            got == want
+        }
+    }
+
+    /// Exhaustive sweep of every bit pattern against a set of anchors.
+    #[test]
+    fn exhaustive_single_operand_sweeps() {
+        let anchors = [
+            0x0000u16, 0x8000, 0x3C00, 0xBC00, 0x0001, 0x8001, 0x03FF, 0x0400, 0x7BFF, 0xFBFF,
+            0x7C00, 0xFC00, 0x7E00, 0x3555, 0xB555, 0x5640, 0x2E66,
+        ];
+        for bits in 0u16..=u16::MAX {
+            for &anchor in &anchors {
+                let m = mul_bits(bits, anchor);
+                assert!(
+                    agree(m, ref_mul(bits, anchor)),
+                    "mul {bits:#06x} x {anchor:#06x}: got {m:#06x}, want {:#06x}",
+                    ref_mul(bits, anchor)
+                );
+                let s = add_bits(bits, anchor);
+                assert!(
+                    agree(s, ref_add(bits, anchor)),
+                    "add {bits:#06x} + {anchor:#06x}: got {s:#06x}, want {:#06x}",
+                    ref_add(bits, anchor)
+                );
+            }
+        }
+    }
+
+    /// A large pseudo-random pair sample (deterministic LCG).
+    #[test]
+    fn random_pair_sample() {
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..2_000_000 {
+            let r = next();
+            let a = (r & 0xFFFF) as u16;
+            let b = (r >> 16) as u16;
+            assert!(agree(mul_bits(a, b), ref_mul(a, b)), "mul {a:#06x} x {b:#06x}");
+            assert!(agree(add_bits(a, b), ref_add(a, b)), "add {a:#06x} + {b:#06x}");
+        }
+    }
+
+    #[test]
+    fn special_cases() {
+        // inf × 0 and inf − inf are NaN.
+        assert!(is_nan(mul_bits(0x7C00, 0x0000)));
+        assert!(is_nan(add_bits(0x7C00, 0xFC00)));
+        // -0 + +0 = +0; -0 + -0 = -0.
+        assert_eq!(add_bits(0x8000, 0x0000), 0x0000);
+        assert_eq!(add_bits(0x8000, 0x8000), 0x8000);
+        // Exact cancellation is +0.
+        let x = 0x4D42u16;
+        assert_eq!(add_bits(x, x ^ SIGN_MASK), 0x0000);
+        // Overflow rounds to infinity.
+        assert_eq!(mul_bits(0x7BFF, 0x7BFF), 0x7C00);
+        assert_eq!(add_bits(0x7BFF, 0x7BFF), 0x7C00);
+    }
+}

@@ -1,0 +1,166 @@
+//! Host processor configuration and time models.
+
+/// Configuration of the host processor and its memory system.
+///
+/// The structural numbers come from Section VI of the paper; the
+/// *efficiency factors* are the calibration constants the reproduction
+/// needs because the paper's host is a real GPU with a real BLAS library
+/// whose kernel quality we cannot rebuild. Each factor is documented with
+/// the paper sentence that motivates it; together they are chosen so the
+/// microbenchmark ratios land in the paper's reported ranges (see
+/// EXPERIMENTS.md for the calibration audit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostConfig {
+    /// Compute units (Section VI: 60).
+    pub cus: usize,
+    /// CU clock in MHz (Section VI: 1725).
+    pub cu_mhz: u64,
+    /// FP16 FLOPs per CU per cycle (GPU-class: 256 → ~26.5 TFLOPS total).
+    pub flops_per_cu_cycle_fp16: f64,
+    /// Last-level cache capacity in bytes (GPU-class: 8 MiB).
+    pub llc_bytes: usize,
+    /// LLC line size in bytes.
+    pub llc_line: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// HBM stacks integrated with the processor (Section VI: 4).
+    pub stacks: usize,
+    /// Fraction of peak off-chip bandwidth the host's GEMV kernel sustains
+    /// **at batch 1**; see [`HostConfig::gemv_efficiency`] for the batch
+    /// scaling.
+    ///
+    /// Calibration: the paper's GEMV speedups span "1.4~11.2×" across the
+    /// Table VI sizes. PIM's GEMV time depends only on K (all ≤8192
+    /// outputs compute in one lock-step pass) while the host's scales with
+    /// N·K — so the speedup grows ∝N, and anchoring GEMV1 (1k×4k) at 1.4×
+    /// and GEMV4 (8k×8k) at 11.2× puts the host's single-batch GEMV at
+    /// ~13% of peak bandwidth ("not optimized to fully utilize the
+    /// off-chip memory bandwidth", Section VII-B).
+    pub gemv_stream_efficiency: f64,
+    /// Fraction of peak bandwidth the host's element-wise kernels sustain.
+    ///
+    /// Streaming ADD is easy to write well; near-peak (90%) makes PIM's
+    /// ADD advantage small (paper: 1.6×), exactly as reported.
+    pub add_stream_efficiency: f64,
+    /// Fraction of peak bandwidth well-written host kernels (LSTM via
+    /// batched GEMV inside cuBLAS-class libraries) sustain at batch 1;
+    /// see [`HostConfig::lstm_efficiency`]. Calibrated so DS2's end-to-end
+    /// speedup lands at the paper's 3.5×.
+    pub lstm_stream_efficiency: f64,
+    /// Host-side cost of launching one (PIM or compute) kernel, in
+    /// microseconds. Dominates GNMT's decoder, which "is required to
+    /// invoke the PIM kernel at every step and every layer" (Section
+    /// VII-B).
+    pub kernel_launch_overhead_us: f64,
+    /// Extra bus cycles one fence/barrier costs beyond draining in-flight
+    /// commands (thread-group synchronization on the host).
+    pub fence_sync_overhead_cycles: u64,
+}
+
+impl HostConfig {
+    /// The paper's evaluation system (Section VI).
+    pub fn paper() -> HostConfig {
+        HostConfig {
+            cus: 60,
+            cu_mhz: 1725,
+            flops_per_cu_cycle_fp16: 256.0,
+            llc_bytes: 8 * 1024 * 1024,
+            llc_line: 64,
+            llc_ways: 16,
+            stacks: 4,
+            gemv_stream_efficiency: 0.131,
+            add_stream_efficiency: 0.90,
+            lstm_stream_efficiency: 0.33,
+            kernel_launch_overhead_us: 6.0,
+            fence_sync_overhead_cycles: 24,
+        }
+    }
+
+    /// Effective GEMV bandwidth efficiency at a given batch size.
+    ///
+    /// Batching switches the host's BLAS dispatch from the unoptimized
+    /// GEMV path to progressively better-tiled GEMM kernels; calibrated to
+    /// Fig. 10's 11.2× → 3.2× → <1× progression over B1/B2/B4 for GEMV4,
+    /// the efficiency grows ~`B^1.5` up to the bandwidth ceiling.
+    pub fn gemv_efficiency(&self, batch: usize) -> f64 {
+        (self.gemv_stream_efficiency * (batch as f64).powf(1.5)).min(1.0)
+    }
+
+    /// Effective LSTM-library bandwidth efficiency at a given batch size
+    /// (grows `~B^0.8`, calibrated to DS2's 3.5× → 1.6× over B1/B2).
+    pub fn lstm_efficiency(&self, batch: usize) -> f64 {
+        (self.lstm_stream_efficiency * (batch as f64).powf(0.8)).min(1.0)
+    }
+
+    /// Peak FP16 throughput in GFLOPS.
+    pub fn peak_fp16_gflops(&self) -> f64 {
+        self.cus as f64 * self.cu_mhz as f64 * 1e6 * self.flops_per_cu_cycle_fp16 / 1e9
+    }
+
+    /// Peak off-chip bandwidth in GB/s: `stacks × 16 pCH × per-pCH peak`.
+    pub fn peak_bandwidth_gbs(&self, per_pch_gbs: f64) -> f64 {
+        self.stacks as f64 * 16.0 * per_pch_gbs
+    }
+
+    /// Time for the host to stream `bytes` at `efficiency × peak` off-chip
+    /// bandwidth, in seconds.
+    pub fn stream_time_s(&self, bytes: u64, per_pch_gbs: f64, efficiency: f64) -> f64 {
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        bytes as f64 / (self.peak_bandwidth_gbs(per_pch_gbs) * 1e9 * efficiency)
+    }
+
+    /// Time for the host to perform `flops` FP16 operations at `utilization`
+    /// of peak, in seconds.
+    pub fn compute_time_s(&self, flops: u64, utilization: f64) -> f64 {
+        assert!(utilization > 0.0 && utilization <= 1.0);
+        flops as f64 / (self.peak_fp16_gflops() * 1e9 * utilization)
+    }
+
+    /// Kernel-launch overhead in seconds.
+    pub fn launch_overhead_s(&self) -> f64 {
+        self.kernel_launch_overhead_us * 1e-6
+    }
+}
+
+impl Default for HostConfig {
+    fn default() -> HostConfig {
+        HostConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_shape() {
+        let h = HostConfig::paper();
+        assert_eq!(h.cus, 60);
+        assert_eq!(h.stacks, 4);
+        // ~26.5 TFLOPS FP16 — GPU-class.
+        assert!((h.peak_fp16_gflops() - 26496.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_composition() {
+        let h = HostConfig::paper();
+        // 4 stacks × 307.2 GB/s = 1.2288 TB/s (Section VI: "total off-chip
+        // memory bandwidth for the processor is 1.229TB/s").
+        let bw = h.peak_bandwidth_gbs(19.2);
+        assert!((bw - 1228.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_time_scales_inversely_with_efficiency() {
+        let h = HostConfig::paper();
+        let fast = h.stream_time_s(1 << 30, 19.2, 1.0);
+        let slow = h.stream_time_s(1 << 30, 19.2, 0.25);
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        HostConfig::paper().stream_time_s(1, 19.2, 0.0);
+    }
+}

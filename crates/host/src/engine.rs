@@ -1,0 +1,307 @@
+//! The kernel engine: turns per-channel PIM command streams into issued
+//! DRAM traffic under the paper's ordering regimes.
+//!
+//! A PIM kernel is a sequence of [`Batch`]es per channel. Within a batch
+//! the DRAM controller is free to reorder commands (FR-FCFS, Fig. 5); the
+//! host inserts a barrier *after every batch* to bound that reordering to
+//! the AAM tolerance window — "we need to use a barrier for every 8 DRAM
+//! commands [...] because our AAM can handle out-of-order execution of only
+//! up to 8 PIM instructions at a time" (Section VII-B).
+//!
+//! Two execution modes reproduce the paper's two measurement regimes:
+//!
+//! * [`ExecutionMode::Fenced`] — the shipped system: optional deterministic
+//!   intra-batch reordering (modelling the FR-FCFS controller) plus a
+//!   drain-and-sync cost per barrier;
+//! * [`ExecutionMode::Ordered`] — the §VII-B what-if: "a processor
+//!   manufacturer confirms that the order of DRAM commands can be preserved
+//!   only in PIM mode at negligible hardware and performance costs"; no
+//!   reordering, no fences.
+
+use crate::config::HostConfig;
+use crate::system::PimSystem;
+use pim_core::PimChannel;
+use pim_dram::{Command, CommandSink, Cycle, MemoryController};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One group of DRAM commands for a single channel, optionally followed by
+/// a fence.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The commands, in program order.
+    pub commands: Vec<Command>,
+    /// Whether the batch's triggers are order-tolerant (AAM arithmetic over
+    /// disjoint address-derived registers). Order-tolerant batches may be
+    /// reordered by the controller without changing results; the engine
+    /// only shuffles these — reordering a non-commutative batch models a
+    /// *miscompiled* kernel and is used by the Fig. 5 demonstration.
+    pub commutative: bool,
+    /// Whether the host issues a barrier after this batch (Section IV-C:
+    /// the fence bounding the controller's reordering to the AAM window).
+    pub fence_after: bool,
+}
+
+impl Batch {
+    /// A fenced batch of order-tolerant trigger commands — the common shape
+    /// of a PIM kernel's data phase (e.g. 8 AAM MACs).
+    pub fn commutative(commands: Vec<Command>) -> Batch {
+        Batch { commands, commutative: true, fence_after: true }
+    }
+
+    /// A fenced batch whose internal order matters (e.g. the single WR that
+    /// streams operands into the SRF before a group of MACs).
+    pub fn fenced_ordered(commands: Vec<Command>) -> Batch {
+        Batch { commands, commutative: false, fence_after: true }
+    }
+
+    /// An unfenced, ordered batch: row management (ACT/PRE) and mode
+    /// setup, whose ordering the DRAM controller already guarantees via
+    /// bank-state dependencies.
+    pub fn setup(commands: Vec<Command>) -> Batch {
+        Batch { commands, commutative: false, fence_after: false }
+    }
+}
+
+/// The ordering regime under which a kernel executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Standard FR-FCFS controller + per-batch fences. If
+    /// `reorder_seed` is `Some`, commutative batches are deterministically
+    /// shuffled before issue (the controller's reordering made visible).
+    Fenced {
+        /// Seed for the deterministic intra-batch shuffle; `None` issues in
+        /// program order (reordering happens, but AAM makes it invisible —
+        /// issuing in order is then behaviourally equivalent and cheaper to
+        /// simulate).
+        reorder_seed: Option<u64>,
+    },
+    /// In-order PIM-mode controller (the no-fence what-if of §VII-B).
+    Ordered,
+    /// A deliberately broken regime for the Fig. 5 demonstration: the
+    /// controller reorders but the kernel has **no** fences and no AAM
+    /// protection — every batch (commutative or not) is shuffled across
+    /// the whole kernel.
+    UnfencedReordered {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+/// The outcome of running a kernel on one channel or across the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResult {
+    /// Cycle at which the kernel completed (max across channels).
+    pub end_cycle: Cycle,
+    /// Total DRAM commands issued.
+    pub commands: u64,
+    /// Fences executed.
+    pub fences: u64,
+}
+
+/// Executes PIM kernels over a [`PimSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelEngine;
+
+impl KernelEngine {
+    /// Runs `batches` on channel `ctrl` under `mode`; returns the
+    /// completion cycle and counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a command is illegal for the device state (a kernel bug —
+    /// PIM execution is deterministic, so the host programmer is expected
+    /// to know the exact state, Section III-A).
+    pub fn run_on_channel(
+        host: &HostConfig,
+        ctrl: &mut MemoryController<PimChannel>,
+        batches: &[Batch],
+        mode: ExecutionMode,
+    ) -> KernelResult {
+        let t = ctrl.sink().timing().clone();
+        let mut commands = 0u64;
+        let mut fences = 0u64;
+        let mut order_buf: Vec<Command> = Vec::new();
+
+        match mode {
+            ExecutionMode::UnfencedReordered { seed } => {
+                // Flatten the kernel and shuffle data-phase column commands
+                // across the (absent) fence boundaries — the failure mode
+                // of Fig. 5(b/c). Setup batches (mode transitions, CRF
+                // programming) keep their order: the controller serializes
+                // them through bank-state dependencies, and the hazard the
+                // paper describes is among the *trigger* commands.
+                let mut shuffle_slots: Vec<usize> = Vec::new();
+                for b in batches {
+                    let data_phase = b.fence_after || b.commutative;
+                    for c in &b.commands {
+                        if data_phase && c.is_column() {
+                            shuffle_slots.push(order_buf.len());
+                        }
+                        order_buf.push(c.clone());
+                    }
+                }
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut cols: Vec<Command> =
+                    shuffle_slots.iter().map(|&i| order_buf[i].clone()).collect();
+                cols.shuffle(&mut rng);
+                for (&slot, cmd) in shuffle_slots.iter().zip(cols) {
+                    order_buf[slot] = cmd;
+                }
+                commands += order_buf.len() as u64;
+                ctrl.issue_raw(&order_buf);
+            }
+            ExecutionMode::Ordered => {
+                for b in batches {
+                    commands += b.commands.len() as u64;
+                    ctrl.issue_raw(&b.commands);
+                }
+            }
+            ExecutionMode::Fenced { reorder_seed } => {
+                for (bi, b) in batches.iter().enumerate() {
+                    let cmds: Vec<Command> = match reorder_seed {
+                        Some(seed) if b.commutative && b.commands.len() > 1 => {
+                            let mut rng = SmallRng::seed_from_u64(seed ^ bi as u64);
+                            let mut v = b.commands.clone();
+                            v.shuffle(&mut rng);
+                            v
+                        }
+                        _ => b.commands.clone(),
+                    };
+                    commands += cmds.len() as u64;
+                    let last = ctrl.issue_raw(&cmds);
+                    if b.fence_after {
+                        // Fence: drain in-flight data (read latency +
+                        // burst) and synchronize the thread group.
+                        let drain = last + t.t_cl + t.t_bl + host.fence_sync_overhead_cycles;
+                        ctrl.advance_to(drain);
+                        fences += 1;
+                    }
+                }
+            }
+        }
+        KernelResult { end_cycle: ctrl.now(), commands, fences }
+    }
+
+    /// Runs per-channel batch lists across the system concurrently (each
+    /// channel advances its own clock); returns the wall-clock result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_channel.len()` exceeds the channel count.
+    pub fn run_system(
+        sys: &mut PimSystem,
+        per_channel: &[Vec<Batch>],
+        mode: ExecutionMode,
+    ) -> KernelResult {
+        assert!(per_channel.len() <= sys.channel_count(), "more batch lists than channels");
+        let host = sys.host.clone();
+        let mut commands = 0;
+        let mut fences = 0;
+        for (i, batches) in per_channel.iter().enumerate() {
+            let r = Self::run_on_channel(&host, sys.channel_mut(i), batches, mode);
+            commands += r.commands;
+            fences += r.fences;
+        }
+        let end_cycle = sys.barrier();
+        KernelResult { end_cycle, commands, fences }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::PimConfig;
+    use pim_dram::BankAddr;
+
+    fn system() -> PimSystem {
+        PimSystem::new(HostConfig::paper(), PimConfig::paper())
+    }
+
+    fn simple_batches() -> Vec<Batch> {
+        let b = BankAddr::new(0, 0);
+        vec![
+            Batch::setup(vec![Command::Act { bank: b, row: 1 }]),
+            Batch::commutative(
+                (0..8).map(|c| Command::Rd { bank: b, col: c }).collect(),
+            ),
+            Batch::setup(vec![Command::Pre { bank: b }]),
+        ]
+    }
+
+    #[test]
+    fn fenced_mode_costs_more_than_ordered() {
+        let mut sys = system();
+        let r_f = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            sys.channel_mut(0),
+            &simple_batches(),
+            ExecutionMode::Fenced { reorder_seed: None },
+        );
+        let r_o = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            sys.channel_mut(1),
+            &simple_batches(),
+            ExecutionMode::Ordered,
+        );
+        assert!(r_f.end_cycle > r_o.end_cycle, "{} vs {}", r_f.end_cycle, r_o.end_cycle);
+        assert_eq!(r_f.fences, 1, "only the commutative batch is fenced");
+        assert_eq!(r_o.fences, 0);
+        assert_eq!(r_f.commands, 10);
+    }
+
+    #[test]
+    fn reordering_within_batch_is_deterministic() {
+        let mut sys = system();
+        let run = |sys: &mut PimSystem, ch: usize| {
+            KernelEngine::run_on_channel(
+                &HostConfig::paper(),
+                sys.channel_mut(ch),
+                &simple_batches(),
+                ExecutionMode::Fenced { reorder_seed: Some(42) },
+            )
+        };
+        let a = run(&mut sys, 0);
+        let b = run(&mut sys, 1);
+        assert_eq!(a.end_cycle, b.end_cycle, "same seed, same schedule");
+    }
+
+    #[test]
+    fn system_run_advances_all_channels() {
+        let mut sys = system();
+        let per_channel: Vec<Vec<Batch>> = (0..64).map(|_| simple_batches()).collect();
+        let r = KernelEngine::run_system(
+            &mut sys,
+            &per_channel,
+            ExecutionMode::Fenced { reorder_seed: None },
+        );
+        assert_eq!(r.commands, 64 * 10);
+        assert!(r.end_cycle > 0);
+        // Channels ran concurrently: the wall time equals one channel's.
+        let mut solo = PimSystem::new(HostConfig::paper(), PimConfig::paper());
+        let s = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            solo.channel_mut(0),
+            &simple_batches(),
+            ExecutionMode::Fenced { reorder_seed: None },
+        );
+        assert_eq!(r.end_cycle, s.end_cycle);
+    }
+
+    #[test]
+    fn unfenced_reorder_shuffles_columns_only() {
+        let mut sys = system();
+        let r = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            sys.channel_mut(0),
+            &simple_batches(),
+            ExecutionMode::UnfencedReordered { seed: 7 },
+        );
+        // Still 10 commands; ACT first, PRE last (non-columns keep slots).
+        assert_eq!(r.commands, 10);
+        let stats = sys.channel(0).sink().dram().stats();
+        assert_eq!(stats.reads, 8);
+        assert_eq!(stats.acts, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Host processor model for the PIM-HBM reproduction.
+//!
+//! The paper integrates four PIM-HBM stacks with an **unmodified commercial
+//! processor** — "60 compute units, each operating at 1.725 GHz" (Section
+//! VI), i.e. a GPU-class device. The host's role in every reported result
+//! is threefold, and all three are modelled here:
+//!
+//! 1. **Command generation** ([`KernelEngine`]): PIM kernels are ordinary
+//!    memory kernels — thread groups of 16 threads issue 16-byte accesses,
+//!    256 bytes per group per step, one thread group per pseudo channel,
+//!    with barriers enforcing order every GRF's-worth of commands
+//!    (Fig. 8 programming model; Section IV-C fencing).
+//! 2. **Cache filtering** ([`Llc`], [`llc::batched_miss_rate`]): batching
+//!    turns the memory-bound GEMV into the compute-bound GEMM by raising
+//!    LLC hit rates (Fig. 10's B1/B2/B4 sweep).
+//! 3. **Compute throughput** ([`HostConfig::compute_time_s`]): the
+//!    compute-bound layers (convolutions, batched GEMM) run on the host's
+//!    FP16/FP32 units; PIM never slows them down (ResNet-50 in Fig. 10).
+//!
+//! [`PimSystem`] assembles the full evaluation platform: 4 stacks × 16
+//! pseudo channels = 64 channels, each behind its own JEDEC controller
+//! driving a [`pim_core::PimChannel`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bypass;
+mod config;
+mod engine;
+pub mod llc;
+mod system;
+mod threads;
+
+pub use bypass::BypassPolicy;
+pub use config::HostConfig;
+pub use engine::{Batch, ExecutionMode, KernelEngine, KernelResult};
+pub use llc::Llc;
+pub use system::PimSystem;
+pub use threads::{coalesced_requests, ThreadGroup, GROUP_ACCESS_BYTES, THREADS_PER_GROUP, THREAD_ACCESS_BYTES};

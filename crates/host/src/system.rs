@@ -1,0 +1,132 @@
+//! The full evaluation platform: host + 4 PIM-HBM stacks (Section VI).
+
+use crate::config::HostConfig;
+use pim_core::{PimChannel, PimConfig};
+use pim_dram::{
+    AddressMapping, ControllerConfig, Cycle, MemoryController, SchedulingPolicy, TimingParams,
+};
+
+/// The paper's evaluation system: an unmodified host processor 2.5D-
+/// integrated with `stacks × 16` pseudo channels of PIM-HBM, each behind
+/// its own JEDEC-compliant memory controller.
+///
+/// "The host processor can independently control PIM operations of each
+/// memory channel" (Section III-A) — hence one controller and one local
+/// clock per channel, synchronized only at barriers.
+#[derive(Debug)]
+pub struct PimSystem {
+    /// Host configuration.
+    pub host: HostConfig,
+    pim_config: PimConfig,
+    timing: TimingParams,
+    channels: Vec<MemoryController<PimChannel>>,
+}
+
+impl PimSystem {
+    /// Builds the system: `host.stacks × 16` PIM channels.
+    ///
+    /// Refresh is disabled in the controllers by default: PIM kernels are
+    /// short relative to tREFI and the executor brackets them between
+    /// refresh windows; determinism of the reported cycle counts is part of
+    /// the architecture's contract.
+    pub fn new(host: HostConfig, pim: PimConfig) -> PimSystem {
+        PimSystem::with_timing(host, pim, TimingParams::hbm2())
+    }
+
+    /// Builds the system with explicit DRAM timing.
+    pub fn with_timing(host: HostConfig, pim: PimConfig, timing: TimingParams) -> PimSystem {
+        let n = host.stacks * 16;
+        let channels = (0..n)
+            .map(|i| {
+                let cfg = ControllerConfig {
+                    timing: timing.clone(),
+                    mapping: AddressMapping::new(16),
+                    pch_id: i % 16,
+                    policy: SchedulingPolicy::FrFcfs,
+                    page_policy: pim_dram::PagePolicy::Open,
+                    refresh_enabled: false,
+                };
+                MemoryController::with_sink(cfg, PimChannel::new(timing.clone(), pim.clone()))
+            })
+            .collect();
+        PimSystem { host, pim_config: pim, timing, channels }
+    }
+
+    /// The PIM device configuration.
+    pub fn pim_config(&self) -> &PimConfig {
+        &self.pim_config
+    }
+
+    /// DRAM timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Number of pseudo channels (64 on the paper system).
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The controller of channel `i`.
+    pub fn channel(&self, i: usize) -> &MemoryController<PimChannel> {
+        &self.channels[i]
+    }
+
+    /// Mutable controller access.
+    pub fn channel_mut(&mut self, i: usize) -> &mut MemoryController<PimChannel> {
+        &mut self.channels[i]
+    }
+
+    /// The latest local clock across channels.
+    pub fn max_now(&self) -> Cycle {
+        self.channels.iter().map(|c| c.now()).max().unwrap_or(0)
+    }
+
+    /// Global barrier: aligns every channel's clock to the latest.
+    pub fn barrier(&mut self) -> Cycle {
+        let now = self.max_now();
+        for c in &mut self.channels {
+            c.advance_to(now);
+        }
+        now
+    }
+
+    /// Converts a channel-cycle count to seconds.
+    pub fn cycles_to_seconds(&self, cycles: Cycle) -> f64 {
+        self.timing.cycles_to_seconds(cycles)
+    }
+
+    /// Sum of PIM triggers across all channels (work actually executed).
+    pub fn total_pim_triggers(&self) -> u64 {
+        self.channels.iter().map(|c| c.sink().stats().pim_triggers).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_has_64_channels() {
+        let sys = PimSystem::new(HostConfig::paper(), PimConfig::paper());
+        assert_eq!(sys.channel_count(), 64);
+        assert_eq!(sys.max_now(), 0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut sys = PimSystem::new(HostConfig::paper(), PimConfig::paper());
+        sys.channel_mut(5).advance_to(1000);
+        let now = sys.barrier();
+        assert_eq!(now, 1000);
+        assert_eq!(sys.channel(63).now(), 1000);
+    }
+
+    #[test]
+    fn channels_start_in_single_bank_mode() {
+        let sys = PimSystem::new(HostConfig::paper(), PimConfig::paper());
+        for i in 0..sys.channel_count() {
+            assert_eq!(sys.channel(i).sink().mode(), pim_core::PimMode::SingleBank);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Kernel cost models for the application runner.
+//!
+//! **PIM costs are measured, not modelled**: for each distinct kernel shape
+//! the cost model generates the actual command choreography with
+//! `pim-runtime`'s builders and issues it against a real simulated
+//! [`pim_core::PimChannel`]. Lock-step execution means one channel's cycle
+//! count *is* the system wall time, so a single-channel run per shape is
+//! exact and cheap; results are memoized per shape.
+//!
+//! **Host (HBM-baseline) costs** use the documented streaming-efficiency /
+//! LLC / compute models of [`pim_host`] — the substitution for the paper's
+//! real GPU libraries (see DESIGN.md).
+
+use pim_core::{PimChannel, PimConfig};
+use pim_dram::{
+    AddressMapping, BankAddr, Command, ControllerConfig, Cycle, MemoryController,
+    SchedulingPolicy, TimingParams,
+};
+use pim_host::{llc, ExecutionMode, HostConfig, KernelEngine};
+use pim_runtime::{gemv_microkernel, stream_microkernel, Executor, StreamOp};
+use std::collections::HashMap;
+
+/// The measured / modelled cost of one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Bus cycles (PIM kernels only; 0 for analytic host costs).
+    pub cycles: Cycle,
+    /// DRAM commands issued per channel (PIM kernels only).
+    pub commands: u64,
+    /// Fences per channel (PIM kernels only).
+    pub fences: u64,
+}
+
+impl KernelCost {
+    fn analytic(seconds: f64) -> KernelCost {
+        KernelCost { seconds, cycles: 0, commands: 0, fences: 0 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ShapeKey {
+    Gemv { n: usize, k: usize },
+    Stream { op: u8, elements: usize },
+}
+
+/// Memoizing cost model bound to one system configuration.
+#[derive(Debug)]
+pub struct CostModel {
+    /// Host configuration (baseline efficiencies, launch overhead).
+    pub host: HostConfig,
+    /// PIM device configuration (variant, fence window).
+    pub pim: PimConfig,
+    /// DRAM timing.
+    pub timing: TimingParams,
+    /// Ordering regime for PIM kernels.
+    pub mode: ExecutionMode,
+    cache: HashMap<ShapeKey, KernelCost>,
+}
+
+impl CostModel {
+    /// The paper system's cost model.
+    pub fn paper() -> CostModel {
+        CostModel::new(HostConfig::paper(), PimConfig::paper(), TimingParams::hbm2())
+    }
+
+    /// A cost model over explicit configurations.
+    pub fn new(host: HostConfig, pim: PimConfig, timing: TimingParams) -> CostModel {
+        CostModel {
+            host,
+            pim,
+            timing,
+            mode: ExecutionMode::Fenced { reorder_seed: None },
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Total pseudo channels in the system.
+    pub fn channels(&self) -> usize {
+        self.host.stacks * 16
+    }
+
+    /// Output lanes one lock-step pass covers.
+    pub fn lanes_per_pass(&self) -> usize {
+        self.channels() * self.pim.units_per_pch * 16
+    }
+
+    fn fresh_channel(&self) -> MemoryController<PimChannel> {
+        let cfg = ControllerConfig {
+            timing: self.timing.clone(),
+            mapping: AddressMapping::new(16),
+            pch_id: 0,
+            policy: SchedulingPolicy::FrFcfs,
+            page_policy: pim_dram::PagePolicy::Open,
+            refresh_enabled: false,
+        };
+        MemoryController::with_sink(cfg, PimChannel::new(self.timing.clone(), self.pim.clone()))
+    }
+
+    /// Measures the PIM GEMV time for an `n × k` matrix (batch 1) by
+    /// issuing the real command choreography on one channel.
+    pub fn pim_gemv(&mut self, n: usize, k: usize) -> KernelCost {
+        let key = ShapeKey::Gemv { n, k };
+        if let Some(c) = self.cache.get(&key) {
+            return *c;
+        }
+        let passes = n.div_ceil(self.lanes_per_pass());
+        let kpad = k.div_ceil(8) * 8;
+        let groups = (kpad / 8) as u32;
+        let program = gemv_microkernel(groups, &self.pim);
+        let x = vec![0.0f32; 0]; // operand values are irrelevant to timing
+        let data = pim_runtime::kernels::gemv_batches(kpad, 0, &x, &self.pim);
+        let batches = Executor::full_kernel(&program, None, true, &data);
+
+        let mut ctrl = self.fresh_channel();
+        let mut end = 0;
+        let mut commands = 0;
+        let mut fences = 0;
+        for _ in 0..passes {
+            let r = KernelEngine::run_on_channel(&self.host, &mut ctrl, &batches, self.mode);
+            commands += r.commands;
+            fences += r.fences;
+            // Partial-sum readback: per channel, 8 units × (ACT + 8 RD +
+            // PRE) on the memory-mapped GRF row, in single-bank mode.
+            end = self.issue_readback(&mut ctrl);
+            debug_assert!(end >= r.end_cycle);
+        }
+        let cost = KernelCost {
+            seconds: self.timing.cycles_to_seconds(end),
+            cycles: end,
+            commands,
+            fences,
+        };
+        self.cache.insert(key, cost);
+        cost
+    }
+
+    fn issue_readback(&self, ctrl: &mut MemoryController<PimChannel>) -> Cycle {
+        let mut cmds = Vec::new();
+        for u in 0..self.pim.units_per_pch {
+            let bank = BankAddr::from_flat_index(2 * u);
+            cmds.push(Command::Act { bank, row: pim_core::conf::GRF_ROW });
+            for c in 8..16 {
+                cmds.push(Command::Rd { bank, col: c });
+            }
+            cmds.push(Command::Pre { bank });
+        }
+        ctrl.issue_raw(&cmds)
+    }
+
+    /// Measures the PIM time of a streaming op over `elements`.
+    pub fn pim_stream(&mut self, op: StreamOp, elements: usize) -> KernelCost {
+        let opk = match op {
+            StreamOp::Add => 0u8,
+            StreamOp::Mul => 1,
+            StreamOp::Relu => 2,
+            StreamOp::Bn => 3,
+            StreamOp::Axpy => 4,
+        };
+        let key = ShapeKey::Stream { op: opk, elements };
+        if let Some(c) = self.cache.get(&key) {
+            return *c;
+        }
+        let nblocks = elements.div_ceil(16);
+        let slots = nblocks.div_ceil(self.channels() * self.pim.units_per_pch).max(1);
+        let rows = (slots as u32).div_ceil(8);
+        let program = stream_microkernel(op, rows, &self.pim);
+        let data = pim_runtime::kernels::stream_batches(op, rows, 0, &self.pim);
+        let batches = Executor::full_kernel(&program, None, false, &data);
+        let mut ctrl = self.fresh_channel();
+        let r = KernelEngine::run_on_channel(&self.host, &mut ctrl, &batches, self.mode);
+        let cost = KernelCost {
+            seconds: self.timing.cycles_to_seconds(r.end_cycle),
+            cycles: r.end_cycle,
+            commands: r.commands,
+            fences: r.fences,
+        };
+        self.cache.insert(key, cost);
+        cost
+    }
+
+    /// One PIM LSTM step: the two gate GEMVs (`4h × x` and `4h × h`).
+    pub fn pim_lstm_step(&mut self, hidden: usize, input: usize) -> KernelCost {
+        let a = self.pim_gemv(4 * hidden, input);
+        let b = self.pim_gemv(4 * hidden, hidden);
+        KernelCost {
+            seconds: a.seconds + b.seconds,
+            cycles: a.cycles + b.cycles,
+            commands: a.commands + b.commands,
+            fences: a.fences + b.fences,
+        }
+    }
+
+    /// Host GEMV at the given batch: streaming the (LLC-filtered) weight
+    /// traffic at the *unoptimized-GEMV* efficiency (batch-dependent —
+    /// batching dispatches progressively better GEMM kernels), floored by
+    /// compute.
+    pub fn host_gemv(&self, n: usize, k: usize, batch: usize, bandwidth_scale: f64) -> KernelCost {
+        self.host_matrix_kernel(n, k, batch, self.host.gemv_efficiency(batch), bandwidth_scale)
+    }
+
+    /// Host LSTM-class GEMV (library quality) at the given batch.
+    ///
+    /// `eff_scale` captures how library efficiency grows with the layer's
+    /// total weight footprint (bigger matrices amortize kernel overheads
+    /// better); the runner derives it from the layer's weight bytes.
+    pub fn host_lstm_gemv(
+        &self,
+        n: usize,
+        k: usize,
+        batch: usize,
+        bandwidth_scale: f64,
+        eff_scale: f64,
+    ) -> KernelCost {
+        let eff = (self.host.lstm_efficiency(batch) * eff_scale).min(1.0);
+        self.host_matrix_kernel(n, k, batch, eff, bandwidth_scale)
+    }
+
+    /// Library-efficiency scale for an LSTM layer with `weight_bytes` of
+    /// parameters: `(wb / 48 MB)^0.25`, clamped — large layers keep the
+    /// memory pipeline busier.
+    pub fn lstm_size_factor(weight_bytes: u64) -> f64 {
+        ((weight_bytes as f64 / (48.0 * 1048576.0)).powf(0.25)).clamp(0.65, 1.15)
+    }
+
+    fn host_matrix_kernel(
+        &self,
+        n: usize,
+        k: usize,
+        batch: usize,
+        efficiency: f64,
+        bandwidth_scale: f64,
+    ) -> KernelCost {
+        let weight_bytes = (n * k * 2) as u64;
+        let traffic = llc::batched_traffic_bytes(weight_bytes, self.host.llc_bytes, batch);
+        let t_mem = self.host.stream_time_s(traffic, 19.2 * bandwidth_scale, efficiency);
+        // Batched GEMM approaches the compute roofline at modest
+        // utilization for skinny matrices.
+        let flops = 2 * n * k * batch;
+        let t_compute = self.host.compute_time_s(flops as u64, 0.35);
+        KernelCost::analytic(t_mem.max(t_compute))
+    }
+
+    /// Host streaming element-wise op over `elements` (near-peak).
+    pub fn host_stream(&self, op: StreamOp, elements: usize, bandwidth_scale: f64) -> KernelCost {
+        let bytes = elements as u64 * op.bytes_per_element();
+        KernelCost::analytic(self.host.stream_time_s(
+            bytes,
+            19.2 * bandwidth_scale,
+            self.host.add_stream_efficiency,
+        ))
+    }
+
+    /// Host compute-bound kernel (convolutions, attention, batched GEMM)
+    /// at the given batch size.
+    ///
+    /// Batch-1 inference leaves most CUs idle (kernels too small to fill
+    /// 60 CUs): utilization starts at ~2.5% and grows with batch, matching
+    /// observed batch-1 latencies of AlexNet/ResNet-class models on
+    /// GPU-class parts (a few ms).
+    pub fn host_compute(&self, flops: u64, batch: usize) -> KernelCost {
+        let util = (0.025 * batch as f64).min(0.55);
+        KernelCost::analytic(self.host.compute_time_s(flops, util))
+    }
+
+    /// One kernel launch.
+    pub fn launch(&self) -> KernelCost {
+        KernelCost::analytic(self.host.launch_overhead_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pim_gemv_scales_with_k() {
+        let mut m = CostModel::paper();
+        let small = m.pim_gemv(1024, 1024);
+        let big = m.pim_gemv(1024, 4096);
+        assert!(big.seconds > 3.0 * small.seconds, "{} vs {}", big.seconds, small.seconds);
+        assert!(small.cycles > 0 && small.fences > 0);
+    }
+
+    #[test]
+    fn pim_gemv_passes_scale_with_n() {
+        let mut m = CostModel::paper();
+        let one_pass = m.pim_gemv(8192, 512);
+        let two_pass = m.pim_gemv(8192 * 2, 512);
+        let ratio = two_pass.seconds / one_pass.seconds;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn pim_gemv_is_memoized() {
+        let mut m = CostModel::paper();
+        let a = m.pim_gemv(2048, 2048);
+        let b = m.pim_gemv(2048, 2048);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordered_mode_is_faster_than_fenced() {
+        let mut fenced = CostModel::paper();
+        let mut ordered = CostModel::paper();
+        ordered.mode = ExecutionMode::Ordered;
+        let f = fenced.pim_gemv(4096, 4096);
+        let o = ordered.pim_gemv(4096, 4096);
+        let ratio = f.seconds / o.seconds;
+        // §VII-B: removing fences buys ~2.2× on the microbenchmarks.
+        assert!((1.5..3.0).contains(&ratio), "fence overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn pim_stream_scales_linearly() {
+        let mut m = CostModel::paper();
+        let a = m.pim_stream(StreamOp::Add, 1 << 21);
+        let b = m.pim_stream(StreamOp::Add, 1 << 22);
+        let ratio = b.seconds / a.seconds;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn host_gemv_batch_amortizes() {
+        let m = CostModel::paper();
+        let b1 = m.host_gemv(8192, 8192, 1, 1.0);
+        let b4 = m.host_gemv(8192, 8192, 4, 1.0);
+        // 4× the work in less than 4× the time (LLC reuse).
+        assert!(b4.seconds < 4.0 * b1.seconds);
+    }
+
+    #[test]
+    fn bandwidth_scale_speeds_host_kernels() {
+        let m = CostModel::paper();
+        let x1 = m.host_gemv(8192, 8192, 1, 1.0);
+        let x4 = m.host_gemv(8192, 8192, 1, 4.0);
+        let ratio = x1.seconds / x4.seconds;
+        assert!((3.9..4.1).contains(&ratio), "PROC-HBM×4 ratio {ratio}");
+    }
+}

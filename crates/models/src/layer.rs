@@ -1,0 +1,167 @@
+//! The layer vocabulary of the evaluated applications.
+
+use pim_runtime::StreamOp;
+
+/// How the host launches the kernels of a layer — the mechanism behind the
+/// paper's GNMT observation: "the LSTM decoder is required to invoke the
+/// PIM kernel at every step and every layer [...] the overhead caused by
+/// many kernel calls limits the performance improvement" while the encoder,
+/// whose inputs are all available up front, "can reduce the number of
+/// kernel calls".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchPattern {
+    /// One launch for the whole layer.
+    Single,
+    /// One launch per recurrence step (decoder-style data dependence).
+    PerStep,
+}
+
+/// A layer of one of the evaluated applications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// A 2-D convolution: compute-bound, host-only (Section VII-A: "most
+    /// layers of both AlexNet and ResNet are compute-bound, which are not
+    /// a target for PIM").
+    Conv2d {
+        /// Layer name.
+        name: &'static str,
+        /// FLOPs per input sample.
+        gflops: f64,
+    },
+    /// A fully connected layer: GEMV at batch 1 — PIM-eligible when marked.
+    FullyConnected {
+        /// Layer name.
+        name: &'static str,
+        /// Output dimension.
+        n: usize,
+        /// Input dimension.
+        k: usize,
+        /// Whether the stack offloads this layer (the paper accelerates
+        /// AlexNet's FC layers but not GNMT's vocabulary projection).
+        pim_eligible: bool,
+    },
+    /// An LSTM layer over a sequence.
+    Lstm {
+        /// Layer name.
+        name: &'static str,
+        /// Hidden state size.
+        hidden: usize,
+        /// Input size per step.
+        input: usize,
+        /// Sequence length.
+        steps: usize,
+        /// Bidirectional (two independent directions).
+        bidirectional: bool,
+        /// Launch structure (encoder vs decoder).
+        launches: LaunchPattern,
+    },
+    /// Batch normalization over `elements` activations.
+    BatchNorm {
+        /// Layer name.
+        name: &'static str,
+        /// Activation elements.
+        elements: usize,
+    },
+    /// ReLU over `elements` activations.
+    Relu {
+        /// Layer name.
+        name: &'static str,
+        /// Activation elements.
+        elements: usize,
+    },
+    /// A residual (skip-connection) addition.
+    ResidualAdd {
+        /// Layer name.
+        name: &'static str,
+        /// Activation elements.
+        elements: usize,
+    },
+    /// Attention / softmax block — host-only in this PIM generation.
+    Attention {
+        /// Layer name.
+        name: &'static str,
+        /// FLOPs per sample.
+        gflops: f64,
+    },
+}
+
+impl Layer {
+    /// The layer's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layer::Conv2d { name, .. }
+            | Layer::FullyConnected { name, .. }
+            | Layer::Lstm { name, .. }
+            | Layer::BatchNorm { name, .. }
+            | Layer::Relu { name, .. }
+            | Layer::ResidualAdd { name, .. }
+            | Layer::Attention { name, .. } => name,
+        }
+    }
+
+    /// Weight bytes (FP16) the layer must *stream from DRAM* per use:
+    /// the memory-bound layers' parameters. Convolution weights are not
+    /// tracked — they are small relative to their compute and the conv
+    /// path never streams through PIM.
+    pub fn weight_bytes(&self) -> u64 {
+        match self {
+            Layer::FullyConnected { n, k, .. } => (n * k * 2) as u64,
+            Layer::Lstm { hidden, input, .. } => (4 * hidden * (input + hidden) * 2) as u64,
+            _ => 0,
+        }
+    }
+
+    /// The stream op a memory-bound activation layer maps to.
+    pub fn stream_op(&self) -> Option<(StreamOp, usize)> {
+        match self {
+            Layer::BatchNorm { elements, .. } => Some((StreamOp::Bn, *elements)),
+            Layer::Relu { elements, .. } => Some((StreamOp::Relu, *elements)),
+            Layer::ResidualAdd { elements, .. } => Some((StreamOp::Add, *elements)),
+            _ => None,
+        }
+    }
+
+    /// Directions of an LSTM layer (2 if bidirectional).
+    pub fn lstm_directions(&self) -> usize {
+        match self {
+            Layer::Lstm { bidirectional, .. } => {
+                if *bidirectional {
+                    2
+                } else {
+                    1
+                }
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_accounting() {
+        let fc = Layer::FullyConnected { name: "fc", n: 100, k: 50, pim_eligible: true };
+        assert_eq!(fc.weight_bytes(), 100 * 50 * 2);
+        let lstm = Layer::Lstm {
+            name: "l",
+            hidden: 8,
+            input: 4,
+            steps: 10,
+            bidirectional: true,
+            launches: LaunchPattern::Single,
+        };
+        assert_eq!(lstm.weight_bytes(), (4 * 8 * 12 * 2) as u64);
+        assert_eq!(lstm.lstm_directions(), 2);
+    }
+
+    #[test]
+    fn stream_op_mapping() {
+        let bn = Layer::BatchNorm { name: "bn", elements: 10 };
+        assert_eq!(bn.stream_op(), Some((StreamOp::Bn, 10)));
+        let conv = Layer::Conv2d { name: "c", gflops: 1.0 };
+        assert_eq!(conv.stream_op(), None);
+        assert_eq!(conv.name(), "c");
+    }
+}

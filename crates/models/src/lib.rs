@@ -1,0 +1,34 @@
+//! The evaluated workloads (Section VII-A): microbenchmark definitions and
+//! the five applications — DeepSpeech2, RNN-T, GNMT, AlexNet and
+//! ResNet-50 — expressed as layer graphs and executed through the same
+//! cost machinery the microbenchmarks use.
+//!
+//! * [`cost`] — kernel cost models. PIM kernel times come from the **real
+//!   simulator**: the per-channel command stream for a shape is generated
+//!   by `pim-runtime`'s builders and issued against a real
+//!   [`pim_core::PimChannel`]; because execution is lock-step, one
+//!   channel's cycle count is the wall time. Host (HBM-baseline) times
+//!   come from the documented streaming/compute/LLC models in `pim-host`.
+//! * [`layer`] — the layer vocabulary (convolutions, LSTM, fully
+//!   connected, BN, ReLU, residual ADD, attention) with per-layer FLOP and
+//!   byte accounting.
+//! * [`models`] — the five applications with their paper-described
+//!   structures (e.g. DS2: "2 convolution layers, 6 bidirectional LSTM
+//!   layers, and a fully connected layer").
+//! * [`runner`] — executes a model on the HBM system and the PIM-HBM
+//!   system at a given batch size, producing per-layer times, end-to-end
+//!   speedups, and power phases for the energy figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod cost;
+pub mod layer;
+pub mod models;
+pub mod runner;
+
+pub use cost::{CostModel, KernelCost};
+pub use layer::{Layer, LaunchPattern};
+pub use models::{alexnet, deepspeech2, gnmt, resnet50, rnnt, vgg16, Model};
+pub use runner::{LayerTime, ModelRunner, RunReport, SystemKind};

@@ -1,0 +1,344 @@
+//! The five evaluated applications (Section VII-A), expressed as layer
+//! graphs with the structures the paper describes and dimensioned from the
+//! cited model papers. Input sizing follows the paper: 2-second voice
+//! clips for DS2/RNN-T, ~50-word sentences for GNMT, 224×224×3 images for
+//! the CV models.
+
+use crate::layer::{Layer, LaunchPattern};
+
+/// An application: a named sequence of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Application name as used in Fig. 10.
+    pub name: &'static str,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Total weight bytes across layers.
+    pub fn weight_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes()).sum()
+    }
+
+    /// Approximate FLOPs per batch-1 inference (convs + attention from
+    /// their declared GFLOPs; GEMV-class layers at 2 FLOPs per weight;
+    /// LSTMs over their full sequence; element-wise ops at 1 FLOP/element).
+    pub fn inference_flops(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                crate::layer::Layer::Conv2d { gflops, .. }
+                | crate::layer::Layer::Attention { gflops, .. } => (gflops * 1e9) as u64,
+                crate::layer::Layer::FullyConnected { n, k, .. } => (2 * n * k) as u64,
+                crate::layer::Layer::Lstm { hidden, input, steps, bidirectional, .. } => {
+                    let dirs = if *bidirectional { 2 } else { 1 };
+                    (2 * 4 * hidden * (input + hidden) * steps * dirs) as u64
+                }
+                crate::layer::Layer::BatchNorm { elements, .. } => (2 * elements) as u64,
+                crate::layer::Layer::Relu { elements, .. }
+                | crate::layer::Layer::ResidualAdd { elements, .. } => *elements as u64,
+            })
+            .sum()
+    }
+
+    /// Fraction of the model's weights living in layers the stack may
+    /// offload (LSTM always; FC when marked eligible).
+    pub fn pim_eligible_weight_fraction(&self) -> f64 {
+        let total = self.weight_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        let eligible: u64 = self
+            .layers
+            .iter()
+            .map(|l| match l {
+                crate::layer::Layer::Lstm { .. } => l.weight_bytes(),
+                crate::layer::Layer::FullyConnected { pim_eligible: true, .. } => {
+                    l.weight_bytes()
+                }
+                _ => 0,
+            })
+            .sum();
+        eligible as f64 / total as f64
+    }
+}
+
+/// Baidu DeepSpeech2: "2 convolution layers, 6 bidirectional LSTM layers,
+/// and a fully connected layer" (Section VII-A), hidden size 1760 per the
+/// DS2 paper, ~100 post-stride time steps for a 2-second spectrogram.
+pub fn deepspeech2() -> Model {
+    let mut layers = vec![
+        Layer::Conv2d { name: "conv1 41x11", gflops: 0.47 },
+        Layer::Conv2d { name: "conv2 21x11", gflops: 1.94 },
+    ];
+    for i in 0..6 {
+        layers.push(Layer::Lstm {
+            name: match i {
+                0 => "bilstm1",
+                1 => "bilstm2",
+                2 => "bilstm3",
+                3 => "bilstm4",
+                4 => "bilstm5",
+                _ => "bilstm6",
+            },
+            hidden: 1760,
+            // First layer consumes the conv features; later layers consume
+            // the concatenated bidirectional outputs.
+            input: if i == 0 { 1312 } else { 3520 },
+            steps: 100,
+            bidirectional: true,
+            // Speech inputs are fully available: encoder-style batched
+            // launches.
+            launches: LaunchPattern::Single,
+        });
+    }
+    layers.push(Layer::FullyConnected { name: "fc out", n: 29, k: 3520, pim_eligible: false });
+    Model { name: "DS2", layers }
+}
+
+/// Google RNN-T (the MLPerf inference variant, Section VII-A): "5 LSTM
+/// encoder layers with dropout, 2 LSTM prediction layers with dropout, and
+/// 2 fully connected joint-network layers".
+pub fn rnnt() -> Model {
+    let mut layers = Vec::new();
+    for i in 0..5 {
+        layers.push(Layer::Lstm {
+            name: match i {
+                0 => "enc-lstm1",
+                1 => "enc-lstm2",
+                2 => "enc-lstm3",
+                3 => "enc-lstm4",
+                _ => "enc-lstm5",
+            },
+            hidden: 1024,
+            input: if i == 0 { 240 } else { 1024 },
+            // 2 s of audio at 10 ms frames with 2× time reduction after
+            // layer 2 — keep a uniform effective 100 steps for simplicity.
+            steps: 100,
+            bidirectional: false,
+            launches: LaunchPattern::Single,
+        });
+    }
+    for i in 0..2 {
+        layers.push(Layer::Lstm {
+            name: if i == 0 { "pred-lstm1" } else { "pred-lstm2" },
+            hidden: 320,
+            input: 320,
+            steps: 40, // emitted symbols
+            bidirectional: false,
+            // The prediction network is autoregressive.
+            launches: LaunchPattern::PerStep,
+        });
+    }
+    layers.push(Layer::FullyConnected { name: "joint fc1", n: 512, k: 1344, pim_eligible: true });
+    layers.push(Layer::FullyConnected { name: "joint fc2", n: 29, k: 512, pim_eligible: false });
+    Model { name: "RNN-T", layers }
+}
+
+/// Google NMT: "8 LSTM encoders, 8 LSTM decoders, and an attention layer"
+/// (Section VII-A), hidden 1024, ~50-word sentences. The decoder "is
+/// required to invoke the PIM kernel at every step and every layer".
+pub fn gnmt() -> Model {
+    let mut layers = Vec::new();
+    for i in 0..8 {
+        layers.push(Layer::Lstm {
+            name: "enc-lstm",
+            hidden: 1024,
+            input: 1024,
+            steps: 50,
+            bidirectional: i == 0,
+            launches: LaunchPattern::Single,
+        });
+    }
+    layers.push(Layer::Attention { name: "attention", gflops: 0.4 });
+    for _ in 0..8 {
+        layers.push(Layer::Lstm {
+            name: "dec-lstm",
+            hidden: 1024,
+            input: 1024,
+            steps: 50,
+            bidirectional: false,
+            launches: LaunchPattern::PerStep,
+        });
+    }
+    // Vocabulary projection: huge GEMM-style layer kept on the host (the
+    // paper accelerates only the LSTM layers of GNMT).
+    layers.push(Layer::FullyConnected {
+        name: "vocab proj",
+        n: 32_000,
+        k: 1024,
+        pim_eligible: false,
+    });
+    Model { name: "GNMT", layers }
+}
+
+/// AlexNet: "5 convolution layers and 3 fully connected layers"; the paper
+/// accelerates the FC layers.
+pub fn alexnet() -> Model {
+    Model {
+        name: "AlexNet",
+        layers: vec![
+            Layer::Conv2d { name: "conv1", gflops: 0.21 },
+            Layer::Conv2d { name: "conv2", gflops: 0.45 },
+            Layer::Conv2d { name: "conv3", gflops: 0.30 },
+            Layer::Conv2d { name: "conv4", gflops: 0.22 },
+            Layer::Conv2d { name: "conv5", gflops: 0.15 },
+            Layer::FullyConnected { name: "fc6", n: 4096, k: 9216, pim_eligible: true },
+            Layer::FullyConnected { name: "fc7", n: 4096, k: 4096, pim_eligible: true },
+            Layer::FullyConnected { name: "fc8", n: 1000, k: 4096, pim_eligible: true },
+        ],
+    }
+}
+
+/// ResNet-50: dominated by 3×3 and 1×1 convolutions; BN/ReLU/residual adds
+/// operate on feature maps small enough to live in the LLC, so nothing
+/// offloads and PIM-HBM must match HBM exactly (Fig. 10: "PIM-HBM gives
+/// the same performance as HBM ... to demonstrate the PIM-HBM does not
+/// hurt the performance of compute-bound applications").
+pub fn resnet50() -> Model {
+    let mut layers = vec![Layer::Conv2d { name: "conv1 7x7", gflops: 0.24 }];
+    // Four stages of bottleneck blocks: (3, 4, 6, 3) blocks.
+    let stages: [(usize, f64, usize); 4] = [
+        (3, 0.46, 56 * 56 * 256),
+        (4, 0.44, 28 * 28 * 512),
+        (6, 0.42, 14 * 14 * 1024),
+        (3, 0.40, 7 * 7 * 2048),
+    ];
+    for (blocks, gflops, elements) in stages {
+        for _ in 0..blocks {
+            layers.push(Layer::Conv2d { name: "bottleneck convs", gflops });
+            layers.push(Layer::BatchNorm { name: "bn", elements });
+            layers.push(Layer::ResidualAdd { name: "residual add", elements });
+            layers.push(Layer::Relu { name: "relu", elements });
+        }
+    }
+    layers.push(Layer::FullyConnected { name: "fc", n: 1000, k: 2048, pim_eligible: false });
+    Model { name: "ResNet-50", layers }
+}
+
+/// VGG16 (Simonyan & Zisserman, the paper's reference \[50\] for early
+/// compute-bound CNNs): 13 convolution layers and 3 fully connected
+/// layers. Not part of the paper's evaluated set — included as an
+/// extension because its giant fc6 (25088→4096) is the classic
+/// memory-bound FC and stresses the multi-pass GEMV path.
+pub fn vgg16() -> Model {
+    let convs: [(&'static str, f64); 13] = [
+        ("conv1_1", 0.17),
+        ("conv1_2", 3.7),
+        ("conv2_1", 1.85),
+        ("conv2_2", 3.7),
+        ("conv3_1", 1.85),
+        ("conv3_2", 3.7),
+        ("conv3_3", 3.7),
+        ("conv4_1", 1.85),
+        ("conv4_2", 3.7),
+        ("conv4_3", 3.7),
+        ("conv5_1", 0.92),
+        ("conv5_2", 0.92),
+        ("conv5_3", 0.92),
+    ];
+    let mut layers: Vec<Layer> =
+        convs.iter().map(|&(name, gflops)| Layer::Conv2d { name, gflops }).collect();
+    layers.push(Layer::FullyConnected { name: "fc6", n: 4096, k: 25088, pim_eligible: true });
+    layers.push(Layer::FullyConnected { name: "fc7", n: 4096, k: 4096, pim_eligible: true });
+    layers.push(Layer::FullyConnected { name: "fc8", n: 1000, k: 4096, pim_eligible: true });
+    Model { name: "VGG16", layers }
+}
+
+/// All five applications in Fig. 10 order.
+pub fn all_models() -> Vec<Model> {
+    vec![deepspeech2(), rnnt(), gnmt(), alexnet(), resnet50()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_described_structures() {
+        let ds2 = deepspeech2();
+        assert_eq!(
+            ds2.layers.iter().filter(|l| matches!(l, Layer::Conv2d { .. })).count(),
+            2,
+            "DS2 has 2 conv layers"
+        );
+        assert_eq!(
+            ds2.layers.iter().filter(|l| matches!(l, Layer::Lstm { .. })).count(),
+            6,
+            "DS2 has 6 biLSTM layers"
+        );
+        let r = rnnt();
+        assert_eq!(r.layers.iter().filter(|l| matches!(l, Layer::Lstm { .. })).count(), 7);
+        let g = gnmt();
+        assert_eq!(g.layers.iter().filter(|l| matches!(l, Layer::Lstm { .. })).count(), 16);
+        assert_eq!(alexnet().layers.len(), 8);
+        let v = vgg16();
+        assert_eq!(
+            v.layers.iter().filter(|l| matches!(l, Layer::Conv2d { .. })).count(),
+            13,
+            "VGG16 has 13 conv layers"
+        );
+        assert_eq!(
+            v.layers.iter().filter(|l| matches!(l, Layer::FullyConnected { .. })).count(),
+            3
+        );
+        // fc6 alone is ~200 MB of FP16 weights — the memory-bound classic.
+        assert!(v.weight_bytes() > 200 << 20);
+    }
+
+    #[test]
+    fn inference_flops_are_plausible() {
+        // DS2 on a 2 s clip: tens of GFLOPs (6 biLSTM layers over 100
+        // steps dominate). ResNet-50: ~8 GFLOPs. AlexNet: ~1.4 + FCs.
+        let ds2 = deepspeech2().inference_flops() as f64 / 1e9;
+        assert!((10.0..200.0).contains(&ds2), "DS2 {ds2} GFLOPs");
+        let resnet = resnet50().inference_flops() as f64 / 1e9;
+        assert!((4.0..12.0).contains(&resnet), "ResNet {resnet} GFLOPs");
+        assert!(vgg16().inference_flops() > resnet50().inference_flops());
+    }
+
+    #[test]
+    fn eligibility_fractions_match_the_papers_story() {
+        // DS2 is LSTM weights through and through; ResNet offloads nothing.
+        assert!(deepspeech2().pim_eligible_weight_fraction() > 0.95);
+        assert_eq!(resnet50().pim_eligible_weight_fraction(), 0.0);
+        // AlexNet's FCs are nearly all of its parameters.
+        assert!(alexnet().pim_eligible_weight_fraction() > 0.9);
+        // GNMT's vocab projection stays on the host, diluting eligibility.
+        let g = gnmt().pim_eligible_weight_fraction();
+        assert!((0.5..1.0).contains(&g), "GNMT {g}");
+    }
+
+    #[test]
+    fn ds2_weights_exceed_the_llc() {
+        // The LSTM stack is tens of MB — the memory-bound premise.
+        let ds2 = deepspeech2();
+        assert!(ds2.weight_bytes() > 100 << 20, "{} bytes", ds2.weight_bytes());
+    }
+
+    #[test]
+    fn resnet_activation_layers_fit_in_llc() {
+        for l in resnet50().layers {
+            if let Some((_, elements)) = l.stream_op() {
+                assert!(elements * 2 <= 8 << 20, "{}: {elements} elements", l.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gnmt_decoder_launches_per_step() {
+        let g = gnmt();
+        let dec_per_step = g
+            .layers
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l,
+                    Layer::Lstm { launches: LaunchPattern::PerStep, .. }
+                )
+            })
+            .count();
+        assert_eq!(dec_per_step, 8, "all 8 decoder layers launch per step");
+    }
+}

@@ -1,0 +1,72 @@
+//! The PIM runtime context: system + driver + memory manager + execution
+//! mode, threaded through every PIM-BLAS call.
+
+use crate::driver::{MemoryManager, PimDriver};
+use pim_core::PimConfig;
+use pim_host::{ExecutionMode, HostConfig, PimSystem};
+
+/// Everything a PIM-BLAS call needs: the simulated system, the booted
+/// driver, the memory manager, and the ordering regime.
+#[derive(Debug)]
+pub struct PimContext {
+    /// The simulated host + PIM-HBM system.
+    pub sys: PimSystem,
+    /// The booted device driver.
+    pub driver: PimDriver,
+    /// The runtime memory manager over the driver's reserved region.
+    pub mm: MemoryManager,
+    /// The ordering regime kernels run under (fenced by default, matching
+    /// the shipped system; [`ExecutionMode::Ordered`] reproduces the
+    /// no-fence what-if).
+    pub mode: ExecutionMode,
+}
+
+impl PimContext {
+    /// The paper's full evaluation system: 4 stacks, 64 channels.
+    pub fn paper_system() -> PimContext {
+        PimContext::new(HostConfig::paper(), PimConfig::paper())
+    }
+
+    /// A one-stack system for fast tests (16 channels).
+    pub fn small_system() -> PimContext {
+        let mut host = HostConfig::paper();
+        host.stacks = 1;
+        PimContext::new(host, PimConfig::paper())
+    }
+
+    /// Builds a context over explicit configurations.
+    pub fn new(host: HostConfig, pim: PimConfig) -> PimContext {
+        let sys = PimSystem::new(host, pim.clone());
+        let driver = PimDriver::boot(sys.channel_count(), pim.units_per_pch);
+        let mm = driver.memory_manager();
+        PimContext { sys, driver, mm, mode: ExecutionMode::Fenced { reorder_seed: None } }
+    }
+
+    /// Switches the ordering regime.
+    pub fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    /// Frees all PIM memory (arena reset between benchmarks).
+    pub fn reset_memory(&mut self) {
+        self.mm.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_context_shape() {
+        let ctx = PimContext::paper_system();
+        assert_eq!(ctx.sys.channel_count(), 64);
+        assert_eq!(ctx.driver.units_per_channel(), 8);
+    }
+
+    #[test]
+    fn small_context_shape() {
+        let ctx = PimContext::small_system();
+        assert_eq!(ctx.sys.channel_count(), 16);
+    }
+}

@@ -1,0 +1,236 @@
+//! The PIM device driver and memory manager (Section V-A).
+//!
+//! "The PIM device driver reserves memory space for PIM operations during
+//! the booting process. It also sets the reserved memory space to an
+//! uncacheable region [...] Receiving a request from an upper software
+//! layer, the PIM device driver allocates physically contiguous memory
+//! blocks."
+//!
+//! In this reproduction the reserved region is the row space
+//! `[0, PIM_CONF_FIRST_ROW)` of every bank; the [`MemoryManager`] hands out
+//! physically contiguous row regions per (channel, PIM unit) with a bump
+//! allocator (PIM workloads are kernel-scoped arenas: everything is freed
+//! together when the context resets, mirroring the driver's block
+//! allocator).
+
+use pim_core::conf::PIM_CONF_FIRST_ROW;
+use std::fmt;
+
+/// A physically contiguous run of rows in one PIM unit's even bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRegion {
+    /// Channel index.
+    pub channel: usize,
+    /// PIM unit index within the channel.
+    pub unit: usize,
+    /// First row.
+    pub start_row: u32,
+    /// Number of rows.
+    pub rows: u32,
+}
+
+impl RowRegion {
+    /// Rows `[start_row, start_row + rows)`.
+    pub fn row_range(&self) -> std::ops::Range<u32> {
+        self.start_row..self.start_row + self.rows
+    }
+}
+
+/// Allocation failure: the reserved PIM region of some bank is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// The channel that ran out of rows.
+    pub channel: usize,
+    /// The unit that ran out of rows.
+    pub unit: usize,
+    /// Rows requested.
+    pub requested: u32,
+    /// Rows remaining.
+    pub available: u32,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PIM memory exhausted on channel {} unit {}: requested {} rows, {} available",
+            self.channel, self.unit, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The device driver: owns the reserved, uncacheable PIM region.
+#[derive(Debug, Clone)]
+pub struct PimDriver {
+    channels: usize,
+    units_per_channel: usize,
+    reserved_rows: u32,
+}
+
+impl PimDriver {
+    /// "Boots" the driver: reserves all rows below the `PIM_CONF` area on
+    /// every bank of every channel and marks the region uncacheable.
+    pub fn boot(channels: usize, units_per_channel: usize) -> PimDriver {
+        PimDriver { channels, units_per_channel, reserved_rows: PIM_CONF_FIRST_ROW }
+    }
+
+    /// Number of channels under management.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// PIM units per channel.
+    pub fn units_per_channel(&self) -> usize {
+        self.units_per_channel
+    }
+
+    /// Rows reserved per bank for PIM data.
+    pub fn reserved_rows(&self) -> u32 {
+        self.reserved_rows
+    }
+
+    /// Whether an access to `row` must bypass the cache: every row in the
+    /// reserved region is uncacheable, "so that the host processor sends a
+    /// DRAM command for every memory access to the PIM memory space".
+    pub fn is_uncacheable(&self, row: u32) -> bool {
+        row < self.reserved_rows
+    }
+
+    /// Creates the memory manager over the reserved region.
+    pub fn memory_manager(&self) -> MemoryManager {
+        MemoryManager {
+            next_row: vec![0; self.channels * self.units_per_channel],
+            units_per_channel: self.units_per_channel,
+            reserved_rows: self.reserved_rows,
+        }
+    }
+}
+
+/// The PIM memory manager: a per-(channel, unit) bump allocator over the
+/// driver's reserved rows. "The PIM memory manager governs the memory
+/// allocated by the PIM device driver" (Section V-A).
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    next_row: Vec<u32>,
+    units_per_channel: usize,
+    reserved_rows: u32,
+}
+
+impl MemoryManager {
+    /// Allocates `rows` physically contiguous rows in the even bank of
+    /// (`channel`, `unit`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the unit's reserved region is exhausted.
+    pub fn alloc_rows(
+        &mut self,
+        channel: usize,
+        unit: usize,
+        rows: u32,
+    ) -> Result<RowRegion, AllocError> {
+        let idx = channel * self.units_per_channel + unit;
+        let next = self.next_row[idx];
+        let available = self.reserved_rows - next;
+        if rows > available {
+            return Err(AllocError { channel, unit, requested: rows, available });
+        }
+        self.next_row[idx] = next + rows;
+        Ok(RowRegion { channel, unit, start_row: next, rows })
+    }
+
+    /// Allocates the same number of rows at the **same row offset** in
+    /// every (channel, unit) — the shape every lock-step PIM kernel needs,
+    /// since all banks open the same row per command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if any unit cannot satisfy the request at a
+    /// common offset.
+    pub fn alloc_rows_lockstep(&mut self, rows: u32) -> Result<u32, AllocError> {
+        // A lock-step region must start at the same row everywhere: take
+        // the max of all bump pointers, then advance everyone past it.
+        let base = *self.next_row.iter().max().expect("at least one unit");
+        let available = self.reserved_rows.saturating_sub(base);
+        if rows > available {
+            return Err(AllocError { channel: 0, unit: 0, requested: rows, available });
+        }
+        for p in &mut self.next_row {
+            *p = base + rows;
+        }
+        Ok(base)
+    }
+
+    /// Rows still free in the most-loaded unit.
+    pub fn min_available(&self) -> u32 {
+        let max_used = *self.next_row.iter().max().unwrap_or(&0);
+        self.reserved_rows - max_used
+    }
+
+    /// Frees everything (arena reset between kernels/benchmarks).
+    pub fn reset(&mut self) {
+        for p in &mut self.next_row {
+            *p = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_reserves_below_conf_rows() {
+        let d = PimDriver::boot(64, 8);
+        assert_eq!(d.reserved_rows(), PIM_CONF_FIRST_ROW);
+        assert!(d.is_uncacheable(0));
+        assert!(d.is_uncacheable(PIM_CONF_FIRST_ROW - 1));
+        assert!(!d.is_uncacheable(PIM_CONF_FIRST_ROW));
+    }
+
+    #[test]
+    fn alloc_is_contiguous_and_disjoint() {
+        let d = PimDriver::boot(2, 8);
+        let mut mm = d.memory_manager();
+        let a = mm.alloc_rows(0, 0, 10).unwrap();
+        let b = mm.alloc_rows(0, 0, 5).unwrap();
+        assert_eq!(a.row_range(), 0..10);
+        assert_eq!(b.row_range(), 10..15);
+        // A different unit has its own space.
+        let c = mm.alloc_rows(1, 3, 4).unwrap();
+        assert_eq!(c.start_row, 0);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let d = PimDriver::boot(1, 1);
+        let mut mm = d.memory_manager();
+        mm.alloc_rows(0, 0, d.reserved_rows() - 1).unwrap();
+        let err = mm.alloc_rows(0, 0, 2).unwrap_err();
+        assert_eq!(err.available, 1);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn lockstep_alloc_aligns_offsets() {
+        let d = PimDriver::boot(2, 2);
+        let mut mm = d.memory_manager();
+        mm.alloc_rows(0, 1, 7).unwrap(); // skew one unit
+        let base = mm.alloc_rows_lockstep(3).unwrap();
+        assert_eq!(base, 7, "lock-step region starts past the most-used unit");
+        let next = mm.alloc_rows_lockstep(1).unwrap();
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn reset_frees_everything() {
+        let d = PimDriver::boot(1, 2);
+        let mut mm = d.memory_manager();
+        mm.alloc_rows_lockstep(100).unwrap();
+        mm.reset();
+        assert_eq!(mm.alloc_rows_lockstep(1).unwrap(), 0);
+        assert_eq!(mm.min_available(), d.reserved_rows() - 1);
+    }
+}

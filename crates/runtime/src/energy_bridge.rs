@@ -1,0 +1,122 @@
+//! Bridges the simulator's recorded statistics to the energy model:
+//! extracts a [`KernelActivity`] from a channel's counters so real kernel
+//! runs — not analytic stream models — drive the joule accounting.
+
+use crate::context::PimContext;
+use pim_energy::KernelActivity;
+
+/// Snapshot of one channel's cumulative counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivitySnapshot {
+    sb_acts_incl_ab: u64,
+    sb_columns: u64,
+    ab_acts: u64,
+    ab_columns: u64,
+    pim_bank_accesses: u64,
+    pim_triggers: u64,
+}
+
+/// Takes a counter snapshot of channel `ch`.
+pub fn snapshot(ctx: &PimContext, ch: usize) -> ActivitySnapshot {
+    let sink = ctx.sys.channel(ch).sink();
+    let d = sink.dram().stats();
+    let p = sink.stats();
+    ActivitySnapshot {
+        sb_acts_incl_ab: d.acts,
+        sb_columns: d.reads + d.writes,
+        ab_acts: p.ab_acts,
+        ab_columns: p.ab_reads + p.ab_writes,
+        pim_bank_accesses: p.bank_operand_reads + p.bank_result_writes,
+        pim_triggers: p.pim_triggers,
+    }
+}
+
+/// The activity between two snapshots of the same channel, over `seconds`.
+///
+/// All-bank activations are recorded by both layers (the functional bank
+/// model counts 16 ACTs per all-bank ACT); the difference isolates the
+/// true single-bank activations.
+///
+/// # Panics
+///
+/// Panics if `after` precedes `before` (snapshots swapped).
+pub fn activity_between(
+    before: &ActivitySnapshot,
+    after: &ActivitySnapshot,
+    seconds: f64,
+) -> KernelActivity {
+    let d = |a: u64, b: u64| -> u64 {
+        assert!(a >= b, "snapshots out of order");
+        a - b
+    };
+    let ab_acts = d(after.ab_acts, before.ab_acts);
+    let total_acts = d(after.sb_acts_incl_ab, before.sb_acts_incl_ab);
+    KernelActivity {
+        sb_acts: total_acts - ab_acts * 16,
+        sb_columns: d(after.sb_columns, before.sb_columns),
+        ab_acts,
+        ab_columns: d(after.ab_columns, before.ab_columns),
+        pim_bank_accesses: d(after.pim_bank_accesses, before.pim_bank_accesses),
+        pim_triggers: d(after.pim_triggers, before.pim_triggers),
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PimBlas;
+    use pim_energy::{EnergyParams, KernelEnergy};
+
+    #[test]
+    fn pim_add_activity_is_extracted_from_real_counters() {
+        let mut ctx = PimContext::small_system();
+        let before = snapshot(&ctx, 0);
+        let x = vec![1.0f32; 4096];
+        let (_, report) = PimBlas::add(&mut ctx, &x, &x).unwrap();
+        let after = snapshot(&ctx, 0);
+        let a = activity_between(&before, &after, report.seconds);
+        assert!(a.ab_acts > 0, "kernel activated rows in all-bank mode");
+        assert!(a.ab_columns > 0);
+        assert!(a.pim_triggers > 0);
+        assert!(a.pim_bank_accesses > 0);
+        // The choreography's config-row accesses show up as SB columns? No:
+        // CRF/SRF programming happens in AB mode; only readback would be
+        // SB, and ADD has none.
+        assert_eq!(a.sb_columns, 0);
+        let e = KernelEnergy::from_activity(&EnergyParams::hbm2(), &a);
+        assert!(e.total_j() > 0.0);
+        assert_eq!(e.transport_j, a.ab_columns as f64 * 200.0 * 1e-12);
+    }
+
+    #[test]
+    fn energy_per_element_pim_beats_sb_streaming() {
+        // PIM ADD measured from its real run...
+        let mut ctx = PimContext::small_system();
+        let n = 16384;
+        let x = vec![0.5f32; n];
+        let before = snapshot(&ctx, 0);
+        let (_, report) = PimBlas::add(&mut ctx, &x, &x).unwrap();
+        let after = snapshot(&ctx, 0);
+        let a_pim = activity_between(&before, &after, report.seconds);
+        // Per-channel elements: 1/16th of the vector, 3 blocks per 16 elems.
+        let per_ch_elems = (n / 16) as u64;
+        let e_pim = KernelEnergy::from_activity(&EnergyParams::hbm2(), &a_pim);
+
+        // ...versus the host streaming the same per-channel traffic
+        // through the SB interface (3 blocks per 16 elements: x, y, z).
+        let blocks = per_ch_elems * 3 / 16;
+        let a_sb = KernelActivity {
+            sb_acts: a_pim.ab_acts, // same row count
+            sb_columns: blocks,
+            seconds: report.seconds,
+            ..Default::default()
+        };
+        let e_sb = KernelEnergy::from_activity(&EnergyParams::hbm2(), &a_sb);
+        let ratio = e_sb.pj_per_element(per_ch_elems) / e_pim.pj_per_element(per_ch_elems);
+        assert!(
+            ratio > 1.5,
+            "PIM should be at least 1.5x more energy-efficient per element, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The PIM executor (Section V-A): "configures and invokes a PIM kernel".
+//!
+//! The executor assembles the complete standard-command choreography around
+//! a kernel's data phase (Fig. 7):
+//!
+//! 1. enter all-bank mode (ACT+PRE on `ABMR`);
+//! 2. program the microkernel into every CRF (memory-mapped writes,
+//!    broadcast across units in AB mode);
+//! 3. optionally preload the SRF and clear the GRF accumulators;
+//! 4. set `PIM_OP_MODE = 1` — every unit's sequencer resets to CRF entry 0;
+//! 5. stream the data-phase batches (the only part the microbenchmarks
+//!    time at steady state, but we charge the full choreography);
+//! 6. set `PIM_OP_MODE = 0`, exit to single-bank mode.
+//!
+//! Result readback (e.g. GEMV partial sums) happens afterwards in
+//! single-bank mode through the memory-mapped GRF row of each unit's even
+//! bank.
+
+use crate::context::PimContext;
+use pim_core::isa::Instruction;
+use pim_core::{conf, LaneVec};
+use pim_dram::{BankAddr, Command, CommandSink, DataBlock};
+use pim_host::{Batch, ExecutionMode, KernelEngine, KernelResult};
+
+/// The PIM executor: stateless command-choreography builder + runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Builds the CRF-programming batches: one 32-byte write covers 8
+    /// instructions.
+    fn crf_batches(program: &[Instruction]) -> Vec<Batch> {
+        assert!(program.len() <= 32, "microkernel exceeds the CRF");
+        let bank = BankAddr::new(0, 0);
+        let mut cmds = vec![Command::Act { bank, row: conf::CRF_ROW }];
+        for (chunk_idx, chunk) in program.chunks(8).enumerate() {
+            let mut data: DataBlock = [0u8; 32];
+            for (i, instr) in chunk.iter().enumerate() {
+                data[i * 4..i * 4 + 4].copy_from_slice(&instr.encode().to_le_bytes());
+            }
+            // Pad the rest of the block with EXIT so stale CRF words from a
+            // previous kernel cannot run past the program's end.
+            for i in chunk.len()..8 {
+                data[i * 4..i * 4 + 4].copy_from_slice(&Instruction::Exit.encode().to_le_bytes());
+            }
+            cmds.push(Command::Wr { bank, col: chunk_idx as u32, data });
+        }
+        cmds.push(Command::Pre { bank });
+        vec![Batch::setup(cmds)]
+    }
+
+    /// Builds the SRF-preload batch (scale scalars in lanes 0–7 → SRF_M,
+    /// shift scalars in lanes 8–15 → SRF_A).
+    fn srf_batch(values: &LaneVec) -> Batch {
+        let bank = BankAddr::new(0, 0);
+        Batch::setup(vec![
+            Command::Act { bank, row: conf::SRF_ROW },
+            Command::Wr { bank, col: 0, data: values.to_block() },
+            Command::Pre { bank },
+        ])
+    }
+
+    /// Builds the GRF_B-clearing batch (broadcast zeros to columns 8–15 of
+    /// the GRF row) — resets GEMV accumulators between passes.
+    fn clear_grf_b_batch() -> Batch {
+        let bank = BankAddr::new(0, 0);
+        let mut cmds = vec![Command::Act { bank, row: conf::GRF_ROW }];
+        for c in 8..16 {
+            cmds.push(Command::Wr { bank, col: c, data: [0u8; 32] });
+        }
+        cmds.push(Command::Pre { bank });
+        Batch::setup(cmds)
+    }
+
+    /// Assembles the full kernel choreography around `data_batches` (which
+    /// are identical per channel — lock-step execution over per-channel
+    /// data).
+    pub fn full_kernel(
+        program: &[Instruction],
+        srf: Option<&LaneVec>,
+        clear_grf_b: bool,
+        data_batches: &[Batch],
+    ) -> Vec<Batch> {
+        let mut batches = Vec::new();
+        batches.push(Batch::setup(conf::enter_ab_sequence()));
+        batches.extend(Self::crf_batches(program));
+        if let Some(v) = srf {
+            batches.push(Self::srf_batch(v));
+        }
+        if clear_grf_b {
+            batches.push(Self::clear_grf_b_batch());
+        }
+        batches.push(Batch::setup(conf::set_pim_op_mode_sequence(true)));
+        batches.extend_from_slice(data_batches);
+        batches.push(Batch::setup(conf::set_pim_op_mode_sequence(false)));
+        batches.push(Batch::setup(conf::exit_ab_sequence()));
+        batches
+    }
+
+    /// Runs the same kernel choreography on the first `channels` channels
+    /// of the system.
+    pub fn run(
+        ctx: &mut PimContext,
+        channels: usize,
+        program: &[Instruction],
+        srf: Option<&LaneVec>,
+        clear_grf_b: bool,
+        data_batches: &[Batch],
+    ) -> KernelResult {
+        let batches = Self::full_kernel(program, srf, clear_grf_b, data_batches);
+        let per_channel: Vec<Vec<Batch>> = (0..channels).map(|_| batches.clone()).collect();
+        KernelEngine::run_system(&mut ctx.sys, &per_channel, ctx.mode)
+    }
+
+    /// Reads GRF_A[0..8] of (`ch`, `unit`) back through the memory-mapped
+    /// GRF row in single-bank mode (columns 0-7). Timed.
+    pub fn read_grf_a(ctx: &mut PimContext, ch: usize, unit: usize) -> [LaneVec; 8] {
+        Self::read_grf(ctx, ch, unit, 0)
+    }
+
+    /// Reads GRF_B[0..8] of (`ch`, `unit`) back through the memory-mapped
+    /// GRF row in single-bank mode. Timed: the commands advance the
+    /// channel's clock.
+    pub fn read_grf_b(ctx: &mut PimContext, ch: usize, unit: usize) -> [LaneVec; 8] {
+        Self::read_grf(ctx, ch, unit, 8)
+    }
+
+    fn read_grf(ctx: &mut PimContext, ch: usize, unit: usize, col_base: u32) -> [LaneVec; 8] {
+        let bank = BankAddr::from_flat_index(2 * unit);
+        let mut cmds = vec![Command::Act { bank, row: conf::GRF_ROW }];
+        for i in 0..8u32 {
+            cmds.push(Command::Rd { bank, col: col_base + i });
+        }
+        cmds.push(Command::Pre { bank });
+        let ctrl = ctx.sys.channel_mut(ch);
+        let mut out = [LaneVec::zero(); 8];
+        let mut now = ctrl.now();
+        let mut next_reg = 0;
+        for cmd in &cmds {
+            let at = ctrl.sink().earliest_issue(cmd, now);
+            let outcome = ctrl.sink_mut().issue(cmd, at).expect("GRF readback command");
+            now = at;
+            if let Some(d) = outcome.data {
+                out[next_reg] = LaneVec::from_block(&d);
+                next_reg += 1;
+            }
+        }
+        ctrl.advance_to(now);
+        out
+    }
+
+    /// The execution-mode the paper's shipped system uses.
+    pub fn default_mode() -> ExecutionMode {
+        ExecutionMode::Fenced { reorder_seed: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_core::isa::Operand;
+    use pim_core::PimMode;
+
+    #[test]
+    fn choreography_brackets_data_phase() {
+        let prog = vec![Instruction::Exit];
+        let data = vec![Batch::commutative(vec![Command::Rd {
+            bank: BankAddr::new(0, 0),
+            col: 0,
+        }])];
+        let all = Executor::full_kernel(&prog, None, false, &data);
+        // enter AB, CRF, op-mode on, data, op-mode off, exit AB.
+        assert_eq!(all.len(), 6);
+        assert!(!all[0].fence_after);
+    }
+
+    #[test]
+    fn run_leaves_system_in_single_bank_mode() {
+        let mut ctx = crate::PimContext::small_system();
+        let prog = vec![
+            Instruction::Mov {
+                dst: Operand::grf_a(0),
+                src: Operand::even_bank(),
+                relu: false,
+                aam: false,
+            },
+            Instruction::Exit,
+        ];
+        let bank = BankAddr::new(0, 0);
+        let data = vec![
+            Batch::setup(vec![Command::Act { bank, row: 0 }]),
+            Batch::commutative(vec![Command::Rd { bank, col: 0 }]),
+            Batch::setup(vec![Command::Pre { bank }]),
+        ];
+        let r = Executor::run(&mut ctx, 16, &prog, None, false, &data);
+        assert!(r.end_cycle > 0);
+        for ch in 0..16 {
+            assert_eq!(ctx.sys.channel(ch).sink().mode(), PimMode::SingleBank, "ch {ch}");
+            assert_eq!(ctx.sys.channel(ch).sink().stats().pim_triggers, 8);
+        }
+    }
+
+    #[test]
+    fn crf_padding_prevents_stale_instructions() {
+        // Run kernel A (2 instrs), then kernel B (1 instr): B's CRF block
+        // must overwrite A's second instruction with EXIT.
+        let mut ctx = crate::PimContext::small_system();
+        let bank = BankAddr::new(0, 0);
+        let mov = Instruction::Mov {
+            dst: Operand::grf_a(0),
+            src: Operand::even_bank(),
+            relu: false,
+            aam: false,
+        };
+        let data = |n: u32| {
+            vec![
+                Batch::setup(vec![Command::Act { bank, row: 0 }]),
+                Batch::commutative((0..n).map(|c| Command::Rd { bank, col: c }).collect()),
+                Batch::setup(vec![Command::Pre { bank }]),
+            ]
+        };
+        Executor::run(&mut ctx, 1, &[mov, mov, Instruction::Exit], None, false, &data(2));
+        Executor::run(&mut ctx, 1, &[mov], None, false, &data(2));
+        // Second kernel: first trigger runs MOV, second hits the padded
+        // EXIT (not kernel A's stale second MOV).
+        let unit = ctx.sys.channel(0).sink().unit(0);
+        assert!(unit.is_halted());
+        // Kernel A executed 2 MOVs; kernel B executed 1 MOV, then its
+        // second trigger hit the padded EXIT (halted triggers don't count).
+        assert_eq!(unit.stats().instructions, 3);
+    }
+
+    #[test]
+    fn grf_readback_returns_unit_state() {
+        let mut ctx = crate::PimContext::small_system();
+        // Directly place a value in unit 2's GRF_B[3] of channel 1 via a
+        // kernel that fills it from bank data.
+        let bank = BankAddr::new(0, 0);
+        let prog = vec![
+            Instruction::Fill { dst: Operand::grf_b(3), src: Operand::even_bank(), aam: false },
+            Instruction::Exit,
+        ];
+        // Seed the even banks of every unit on channel 1.
+        for u in 0..8 {
+            crate::layout::store_block(
+                &mut ctx.sys,
+                1,
+                u,
+                0,
+                0,
+                &LaneVec::from_f32([u as f32; 16]),
+            );
+        }
+        let data = vec![
+            Batch::setup(vec![Command::Act { bank, row: 0 }]),
+            Batch::commutative(vec![Command::Rd { bank, col: 0 }]),
+            Batch::setup(vec![Command::Pre { bank }]),
+        ];
+        Executor::run(&mut ctx, 16, &prog, None, false, &data);
+        let grf = Executor::read_grf_b(&mut ctx, 1, 2);
+        assert_eq!(grf[3].to_f32(), [2.0; 16]);
+        assert_eq!(grf[0].to_f32(), [0.0; 16]);
+    }
+}

@@ -1,0 +1,229 @@
+//! The native execution path (Fig. 6, orange arrow): "The native execution
+//! path does not require any modification of application source code."
+//!
+//! An application hands the framework a graph of ordinary tensor ops; at
+//! runtime the [`crate::Preprocessor`] "analyzes the source code of
+//! applications and finds TF ops suitable for PIM acceleration", maps the
+//! suitable ones onto PIM-BLAS and leaves the rest on the host — the
+//! application never mentions PIM. [`run_graph`] is that dispatcher: the
+//! same op list produces the same numbers whether an op lands on PIM or on
+//! the host reference path, with a per-op record of where it ran.
+
+use crate::blas::{KernelReport, PimBlas, PimError};
+use crate::context::PimContext;
+use crate::ops::{OpKind, PimOp};
+use crate::preprocessor::{ExecutionTarget, Preprocessor};
+use pim_fp16::F16;
+
+/// A graph node: an operation plus how its inputs bind.
+///
+/// Inputs refer either to application-provided tensors (captured inside
+/// the [`PimOp`]) or to the previous node's output (`chain_input`), which
+/// covers the sequential layer graphs the evaluated applications use.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Human-readable name.
+    pub name: String,
+    /// The operation. For chained nodes the op's primary input is replaced
+    /// by the predecessor's output at execution time.
+    pub op: PimOp,
+    /// Whether this node consumes the previous node's output as its
+    /// primary input.
+    pub chain_input: bool,
+}
+
+/// Where one node executed, with its kernel accounting.
+#[derive(Debug, Clone)]
+pub struct NodeRecord {
+    /// Node name.
+    pub name: String,
+    /// The preprocessor's decision.
+    pub target: ExecutionTarget,
+    /// Kernel accounting (zeroed for host-path ops).
+    pub report: KernelReport,
+}
+
+/// The outcome of a graph run.
+#[derive(Debug, Clone)]
+pub struct GraphResult {
+    /// The final node's output.
+    pub output: Vec<f32>,
+    /// Per-node placement and accounting.
+    pub records: Vec<NodeRecord>,
+}
+
+impl GraphResult {
+    /// Number of nodes the preprocessor offloaded.
+    pub fn offloaded(&self) -> usize {
+        self.records.iter().filter(|r| r.target == ExecutionTarget::Pim).count()
+    }
+}
+
+/// Host reference execution of an op (the blue path of Fig. 6): the same
+/// FP16 input rounding as the device, f32 arithmetic.
+fn host_execute(op: &PimOp) -> Vec<f32> {
+    let f16 = |v: f32| F16::from_f32(v).to_f32();
+    match op {
+        PimOp::Add { x, y } => x.iter().zip(y).map(|(&a, &b)| f16(a) + f16(b)).collect(),
+        PimOp::Mul { x, y } => x.iter().zip(y).map(|(&a, &b)| f16(a) * f16(b)).collect(),
+        PimOp::Relu { x } => x.iter().map(|&a| f16(a).max(0.0)).collect(),
+        PimOp::Bn { x, scale, shift } => {
+            x.iter().map(|&a| f16(a) * f16(*scale) + f16(*shift)).collect()
+        }
+        PimOp::Gemv { w, n, k, x } => PimBlas::reference_gemv(w, *n, *k, x),
+    }
+}
+
+/// Rebinds a chained node's primary input to `input`.
+fn bind_input(op: &PimOp, input: &[f32]) -> Result<PimOp, PimError> {
+    let mut op = op.clone();
+    match &mut op {
+        PimOp::Add { x, .. }
+        | PimOp::Mul { x, .. }
+        | PimOp::Relu { x }
+        | PimOp::Bn { x, .. } => {
+            *x = input.to_vec();
+        }
+        PimOp::Gemv { k, x, .. } => {
+            if input.len() != *k {
+                return Err(PimError::SizeMismatch {
+                    detail: format!(
+                        "chained GEMV expects k = {k} inputs, predecessor produced {}",
+                        input.len()
+                    ),
+                });
+            }
+            *x = input.to_vec();
+        }
+    }
+    Ok(op)
+}
+
+/// Executes a sequential op graph through the native path: per node, the
+/// preprocessor decides PIM vs host at `batch`, and the dispatcher runs it
+/// there. Returns the final output and the per-node placement record.
+///
+/// # Errors
+///
+/// Propagates [`PimError`] from shape mismatches or the BLAS layer.
+pub fn run_graph(
+    ctx: &mut PimContext,
+    nodes: &[GraphNode],
+    batch: usize,
+) -> Result<GraphResult, PimError> {
+    let host_cfg = ctx.sys.host.clone();
+    let mut records = Vec::with_capacity(nodes.len());
+    let mut carried: Option<Vec<f32>> = None;
+    for node in nodes {
+        let op = if node.chain_input {
+            let input = carried.as_deref().ok_or(PimError::Empty)?;
+            bind_input(&node.op, input)?
+        } else {
+            node.op.clone()
+        };
+        let target = if op.kind() == OpKind::Gemv || op.kind().pim_supported() {
+            Preprocessor::decide(&host_cfg, op.kind(), op.footprint_bytes(), batch)
+        } else {
+            ExecutionTarget::Host
+        };
+        let (output, report) = match target {
+            ExecutionTarget::Pim => op.execute(ctx)?,
+            ExecutionTarget::Host => (host_execute(&op), KernelReport::default()),
+        };
+        records.push(NodeRecord { name: node.name.clone(), target, report });
+        carried = Some(output);
+    }
+    Ok(GraphResult { output: carried.ok_or(PimError::Empty)?, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-layer MLP head: big GEMV (offloads) → bias-free ReLU chain.
+    fn mlp(n: usize, k: usize) -> Vec<GraphNode> {
+        let w: Vec<f32> = (0..n * k).map(|i| ((i % 13) as f32 - 6.0) / 64.0).collect();
+        let x: Vec<f32> = (0..k).map(|i| ((i % 7) as f32 - 3.0) / 8.0).collect();
+        vec![
+            GraphNode {
+                name: "fc".into(),
+                op: PimOp::Gemv { w, n, k, x },
+                chain_input: false,
+            },
+            GraphNode {
+                name: "relu".into(),
+                op: PimOp::Relu { x: vec![] },
+                chain_input: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn native_path_offloads_memory_bound_nodes_at_batch_1() {
+        let mut ctx = PimContext::small_system();
+        // Big enough that the weights exceed the LLC: the preprocessor
+        // must offload the GEMV. (2048×2048×2 B = 8 MB > LLC/2.)
+        let r = run_graph(&mut ctx, &mlp(2048, 2048), 1).unwrap();
+        let fc = &r.records[0];
+        assert_eq!(fc.target, ExecutionTarget::Pim, "GEMV offloads at batch 1");
+        assert!(fc.report.cycles > 0);
+        assert_eq!(r.output.len(), 2048);
+        assert!(r.output.iter().all(|v| *v >= 0.0), "ReLU applied");
+        assert!(r.offloaded() >= 1);
+    }
+
+    #[test]
+    fn native_path_keeps_everything_on_host_at_batch_4() {
+        let mut ctx = PimContext::small_system();
+        let r = run_graph(&mut ctx, &mlp(2048, 2048), 4).unwrap();
+        assert_eq!(
+            r.records[0].target,
+            ExecutionTarget::Host,
+            "batched GEMM stays on the host"
+        );
+    }
+
+    #[test]
+    fn placement_does_not_change_results() {
+        // The whole point of the transparent path: PIM and host produce
+        // the same numbers (within FP16 accumulation error for GEMV).
+        // The same graph lands on the host at batch 4 and on PIM at
+        // batch 1 (8 MB of weights exceed the LLC threshold).
+        let nodes = mlp(2048, 2048);
+        let mut ctx = PimContext::small_system();
+        let host_run = run_graph(&mut ctx, &nodes, 4).unwrap(); // host path
+        let mut ctx2 = PimContext::small_system();
+        let pim_run = run_graph(&mut ctx2, &nodes, 1).unwrap(); // PIM path
+        assert_eq!(host_run.records[0].target, ExecutionTarget::Host);
+        assert_eq!(pim_run.records[0].target, ExecutionTarget::Pim);
+        for (a, b) in host_run.output.iter().zip(pim_run.output.iter()) {
+            assert!((a - b).abs() < 0.02 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn chained_shape_mismatch_is_reported() {
+        let mut ctx = PimContext::small_system();
+        let mut nodes = mlp(64, 64);
+        nodes.push(GraphNode {
+            name: "bad".into(),
+            op: PimOp::Gemv { w: vec![0.0; 10 * 100], n: 10, k: 100, x: vec![] },
+            chain_input: true,
+        });
+        assert!(matches!(
+            run_graph(&mut ctx, &nodes, 1),
+            Err(PimError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_without_predecessor_is_an_error() {
+        let mut ctx = PimContext::small_system();
+        let nodes = vec![GraphNode {
+            name: "orphan".into(),
+            op: PimOp::Relu { x: vec![] },
+            chain_input: true,
+        }];
+        assert!(matches!(run_graph(&mut ctx, &nodes, 1), Err(PimError::Empty)));
+    }
+}

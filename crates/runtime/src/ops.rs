@@ -1,0 +1,181 @@
+//! The PIM custom-op layer (Section V-A, Fig. 7): "PIM BLAS functions can
+//! also be called directly by TF 'PIM custom ops' [...] We currently
+//! support six custom TF operations (ADD, MUL, Relu, LSTM, GEMV, and BN)."
+//!
+//! [`PimOp`] is the framework-facing descriptor (shape + kind); executing
+//! one dispatches straight into [`crate::PimBlas`] — the "PIM-direct
+//! execution path" of Fig. 6's yellow arrow. The [`OpKind`] vocabulary is
+//! also what the [`crate::Preprocessor`] reasons over for the native path.
+
+use crate::blas::{KernelReport, PimBlas, PimError};
+use crate::context::PimContext;
+
+/// The operation kinds the stack understands — the six PIM custom ops plus
+/// the host-only kinds the preprocessor must classify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Element-wise addition (residual connections).
+    Add,
+    /// Element-wise multiplication.
+    Mul,
+    /// ReLU activation.
+    Relu,
+    /// Matrix-vector multiplication.
+    Gemv,
+    /// Batch normalization (inference, folded constants).
+    Bn,
+    /// One LSTM cell step.
+    Lstm,
+    /// 2-D convolution — compute-bound, host only.
+    Conv2d,
+    /// Batched matrix-matrix multiplication — compute-bound, host only.
+    Gemm,
+    /// Softmax/attention-style reductions — host only in this generation.
+    Softmax,
+}
+
+impl OpKind {
+    /// Approximate arithmetic intensity (FLOPs per DRAM byte) at batch 1.
+    ///
+    /// Level-1/2 BLAS sit near 0.5–1 FLOP/B (2 FLOPs per 2-byte weight at
+    /// best); convolutions reuse each weight across the whole feature map.
+    pub fn flops_per_byte(self) -> f64 {
+        match self {
+            OpKind::Add | OpKind::Mul | OpKind::Relu => 0.33,
+            OpKind::Bn => 0.67,
+            OpKind::Gemv | OpKind::Lstm => 1.0,
+            OpKind::Gemm => 8.0,
+            OpKind::Conv2d => 50.0,
+            OpKind::Softmax => 1.0,
+        }
+    }
+
+    /// Whether a PIM microkernel exists for this op.
+    pub fn pim_supported(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Mul | OpKind::Relu | OpKind::Gemv | OpKind::Bn | OpKind::Lstm
+        )
+    }
+
+    /// Whether batching converts this op's reuse profile toward
+    /// compute-bound (GEMV → GEMM); element-wise ops only grow linearly.
+    pub fn batch_raises_reuse(self) -> bool {
+        matches!(self, OpKind::Gemv | OpKind::Lstm | OpKind::Gemm)
+    }
+}
+
+/// A framework-level PIM custom op, carrying its operands by value.
+#[derive(Debug, Clone)]
+pub enum PimOp {
+    /// `z = x + y`.
+    Add {
+        /// Left operand.
+        x: Vec<f32>,
+        /// Right operand.
+        y: Vec<f32>,
+    },
+    /// `z = x * y`.
+    Mul {
+        /// Left operand.
+        x: Vec<f32>,
+        /// Right operand.
+        y: Vec<f32>,
+    },
+    /// `z = relu(x)`.
+    Relu {
+        /// Input.
+        x: Vec<f32>,
+    },
+    /// `z = scale*x + shift`.
+    Bn {
+        /// Input.
+        x: Vec<f32>,
+        /// Folded scale.
+        scale: f32,
+        /// Folded shift.
+        shift: f32,
+    },
+    /// `out = W·x`.
+    Gemv {
+        /// Row-major `n × k` weights.
+        w: Vec<f32>,
+        /// Output dimension.
+        n: usize,
+        /// Input dimension.
+        k: usize,
+        /// Input vector.
+        x: Vec<f32>,
+    },
+}
+
+impl PimOp {
+    /// The op's kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            PimOp::Add { .. } => OpKind::Add,
+            PimOp::Mul { .. } => OpKind::Mul,
+            PimOp::Relu { .. } => OpKind::Relu,
+            PimOp::Bn { .. } => OpKind::Bn,
+            PimOp::Gemv { .. } => OpKind::Gemv,
+        }
+    }
+
+    /// Total operand footprint in bytes (FP16 storage).
+    pub fn footprint_bytes(&self) -> u64 {
+        let elems = match self {
+            PimOp::Add { x, y } | PimOp::Mul { x, y } => x.len() + y.len(),
+            PimOp::Relu { x } => x.len(),
+            PimOp::Bn { x, .. } => x.len(),
+            PimOp::Gemv { w, x, .. } => w.len() + x.len(),
+        };
+        elems as u64 * 2
+    }
+
+    /// Executes the op through PIM-BLAS — the PIM-direct execution path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PimError`] from the BLAS layer.
+    pub fn execute(&self, ctx: &mut PimContext) -> Result<(Vec<f32>, KernelReport), PimError> {
+        match self {
+            PimOp::Add { x, y } => PimBlas::add(ctx, x, y),
+            PimOp::Mul { x, y } => PimBlas::mul(ctx, x, y),
+            PimOp::Relu { x } => PimBlas::relu(ctx, x),
+            PimOp::Bn { x, scale, shift } => PimBlas::bn(ctx, x, *scale, *shift),
+            PimOp::Gemv { w, n, k, x } => PimBlas::gemv(ctx, w, *n, *k, x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kinds_classify() {
+        assert!(OpKind::Gemv.pim_supported());
+        assert!(!OpKind::Conv2d.pim_supported());
+        assert!(OpKind::Gemv.batch_raises_reuse());
+        assert!(!OpKind::Add.batch_raises_reuse());
+        assert!(OpKind::Conv2d.flops_per_byte() > OpKind::Gemv.flops_per_byte());
+    }
+
+    #[test]
+    fn custom_op_dispatch() {
+        let mut ctx = PimContext::small_system();
+        let op = PimOp::Add { x: vec![1.0; 32], y: vec![2.0; 32] };
+        assert_eq!(op.kind(), OpKind::Add);
+        assert_eq!(op.footprint_bytes(), 128);
+        let (z, _) = op.execute(&mut ctx).unwrap();
+        assert!(z.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn gemv_op_dispatch() {
+        let mut ctx = PimContext::small_system();
+        let op = PimOp::Gemv { w: vec![1.0; 16 * 8], n: 16, k: 8, x: vec![1.0; 8] };
+        let (out, _) = op.execute(&mut ctx).unwrap();
+        assert!(out.iter().all(|&v| (v - 8.0).abs() < 1e-3));
+    }
+}

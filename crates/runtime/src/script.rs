@@ -1,0 +1,402 @@
+//! `pimsim` scripting: drive a single PIM-HBM channel from a small text
+//! language — assemble microkernels, seed banks, fire standard DRAM
+//! commands, and inspect registers and traces. The debugging workflow the
+//! paper's FPGA bring-up system provided ("we can precisely control the
+//! operation of PIM-HBM with this system", Section VI), in text form.
+//!
+//! # Commands
+//!
+//! ```text
+//! mode ab | mode sb          enter/exit all-bank mode (ACT+PRE sequences)
+//! pim on | pim off           set PIM_OP_MODE (ACT+WR+PRE sequence)
+//! program                    begin a microkernel block (pim-core assembly)
+//!   MAC GRF_B[0], EVEN_BANK, SRF_M[0] (AAM)
+//!   ...
+//! end                        assemble + load into every CRF
+//! srf  m0..m7 a0..a7         load 16 scalars into SRF_M / SRF_A
+//! poke UNIT ROW COL v0..v15  backdoor-seed a unit's even bank
+//! peek UNIT ROW COL          print a block (backdoor read)
+//! act ROW | rd COL | pre | prea
+//! wr COL v0..v15             column write (WDATA in AB-PIM mode)
+//! dump grf_a|grf_b|srf_m|srf_a UNIT   print a unit's registers
+//! stats                      print PIM channel statistics
+//! trace                      print the recorded command trace
+//! # comment / ; comment
+//! ```
+
+use pim_core::asm;
+use pim_core::{conf, LaneVec, PimChannel, PimConfig, PimMode};
+use pim_dram::{BankAddr, Command, CommandSink, Cycle, TimingParams, TracingSink};
+use pim_fp16::F16;
+use std::fmt;
+
+/// A script execution error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// Line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// An interactive single-channel PIM session.
+#[derive(Debug)]
+pub struct ScriptSession {
+    channel: TracingSink<PimChannel>,
+    now: Cycle,
+}
+
+impl Default for ScriptSession {
+    fn default() -> ScriptSession {
+        ScriptSession::new()
+    }
+}
+
+impl ScriptSession {
+    /// A fresh paper-configuration channel with a 4096-entry trace.
+    pub fn new() -> ScriptSession {
+        ScriptSession {
+            channel: TracingSink::new(
+                PimChannel::new(TimingParams::hbm2(), PimConfig::paper()),
+                4096,
+            ),
+            now: 0,
+        }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The channel under test.
+    pub fn channel(&self) -> &PimChannel {
+        self.channel.inner()
+    }
+
+    fn issue_all(&mut self, cmds: &[Command], line: usize) -> Result<Option<LaneVec>, ScriptError> {
+        let mut data = None;
+        for c in cmds {
+            let at = self.channel.earliest_issue(c, self.now);
+            let out = self
+                .channel
+                .issue(c, at)
+                .map_err(|e| ScriptError { line, message: format!("{c}: {e}") })?;
+            if let Some(d) = out.data {
+                data = Some(LaneVec::from_block(&d));
+            }
+            self.now = at;
+        }
+        Ok(data)
+    }
+
+    /// Executes a whole script; returns the printed output lines.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`ScriptError`].
+    pub fn run(&mut self, source: &str) -> Result<Vec<String>, ScriptError> {
+        let mut out = Vec::new();
+        let mut lines = source.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let line = i + 1;
+            let text = raw.split(['#', ';']).next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            let mut toks = text.split_whitespace();
+            let cmd = toks.next().expect("nonempty");
+            let rest: Vec<&str> = toks.collect();
+            match cmd {
+                "mode" => match rest.as_slice() {
+                    ["ab"] => {
+                        self.issue_all(&conf::enter_ab_sequence(), line)?;
+                    }
+                    ["sb"] => {
+                        self.issue_all(&conf::exit_ab_sequence(), line)?;
+                    }
+                    _ => return err(line, "mode expects `ab` or `sb`"),
+                },
+                "pim" => match rest.as_slice() {
+                    ["on"] => {
+                        self.issue_all(&conf::set_pim_op_mode_sequence(true), line)?;
+                    }
+                    ["off"] => {
+                        self.issue_all(&conf::set_pim_op_mode_sequence(false), line)?;
+                    }
+                    _ => return err(line, "pim expects `on` or `off`"),
+                },
+                "program" => {
+                    let mut body = String::new();
+                    let mut closed = false;
+                    for (j, praw) in lines.by_ref() {
+                        if praw.trim() == "end" {
+                            closed = true;
+                            break;
+                        }
+                        body.push_str(praw);
+                        body.push('\n');
+                        let _ = j;
+                    }
+                    if !closed {
+                        return err(line, "program block missing `end`");
+                    }
+                    let program = asm::assemble(&body)
+                        .map_err(|e| ScriptError { line: line + e.line, message: e.message })?;
+                    let bank = BankAddr::new(0, 0);
+                    let mut cmds = vec![Command::Act { bank, row: conf::CRF_ROW }];
+                    for (ci, chunk) in program.chunks(8).enumerate() {
+                        let mut block = [0u8; 32];
+                        for (k, ins) in chunk.iter().enumerate() {
+                            block[k * 4..k * 4 + 4].copy_from_slice(&ins.encode().to_le_bytes());
+                        }
+                        for k in chunk.len()..8 {
+                            block[k * 4..k * 4 + 4].copy_from_slice(
+                                &pim_core::isa::Instruction::Exit.encode().to_le_bytes(),
+                            );
+                        }
+                        cmds.push(Command::Wr { bank, col: ci as u32, data: block });
+                    }
+                    cmds.push(Command::Pre { bank });
+                    self.issue_all(&cmds, line)?;
+                    out.push(format!("loaded {} instructions", program.len()));
+                }
+                "srf" => {
+                    let vals = parse_floats(&rest, 16, line)?;
+                    let bank = BankAddr::new(0, 0);
+                    let block = LaneVec::from_f32(vals).to_block();
+                    self.issue_all(
+                        &[
+                            Command::Act { bank, row: conf::SRF_ROW },
+                            Command::Wr { bank, col: 0, data: block },
+                            Command::Pre { bank },
+                        ],
+                        line,
+                    )?;
+                }
+                "poke" => {
+                    if rest.len() != 19 {
+                        return err(line, "poke UNIT ROW COL v0..v15");
+                    }
+                    let unit: usize = parse(rest[0], line)?;
+                    let row: u32 = parse(rest[1], line)?;
+                    let col: u32 = parse(rest[2], line)?;
+                    let vals = parse_floats(&rest[3..], 16, line)?;
+                    let bank = BankAddr::from_flat_index(2 * unit);
+                    self.channel
+                        .inner_mut()
+                        .dram_mut()
+                        .bank_mut(bank)
+                        .poke_block(row, col, &LaneVec::from_f32(vals).to_block());
+                }
+                "peek" => {
+                    if rest.len() != 3 {
+                        return err(line, "peek UNIT ROW COL");
+                    }
+                    let unit: usize = parse(rest[0], line)?;
+                    let row: u32 = parse(rest[1], line)?;
+                    let col: u32 = parse(rest[2], line)?;
+                    let bank = BankAddr::from_flat_index(2 * unit);
+                    let v = LaneVec::from_block(
+                        &self.channel.inner().dram().bank(bank).peek_block(row, col),
+                    );
+                    out.push(format!("peek u{unit} r{row} c{col}: {}", fmt_lanes(&v)));
+                }
+                "act" => {
+                    let row: u32 = parse(rest.first().copied().unwrap_or(""), line)?;
+                    self.issue_all(&[Command::Act { bank: BankAddr::new(0, 0), row }], line)?;
+                }
+                "rd" => {
+                    let col: u32 = parse(rest.first().copied().unwrap_or(""), line)?;
+                    if let Some(v) =
+                        self.issue_all(&[Command::Rd { bank: BankAddr::new(0, 0), col }], line)?
+                    {
+                        out.push(format!("rd c{col}: {}", fmt_lanes(&v)));
+                    }
+                }
+                "wr" => {
+                    if rest.len() != 17 {
+                        return err(line, "wr COL v0..v15");
+                    }
+                    let col: u32 = parse(rest[0], line)?;
+                    let vals = parse_floats(&rest[1..], 16, line)?;
+                    self.issue_all(
+                        &[Command::Wr {
+                            bank: BankAddr::new(0, 0),
+                            col,
+                            data: LaneVec::from_f32(vals).to_block(),
+                        }],
+                        line,
+                    )?;
+                }
+                "pre" => {
+                    self.issue_all(&[Command::Pre { bank: BankAddr::new(0, 0) }], line)?;
+                }
+                "prea" => {
+                    self.issue_all(&[Command::PreAll], line)?;
+                }
+                "dump" => {
+                    if rest.len() != 2 {
+                        return err(line, "dump grf_a|grf_b|srf_m|srf_a UNIT");
+                    }
+                    let unit: usize = parse(rest[1], line)?;
+                    if unit >= self.channel.inner().unit_count() {
+                        return err(line, format!("unit {unit} out of range"));
+                    }
+                    let u = self.channel.inner().unit(unit);
+                    match rest[0] {
+                        "grf_a" | "grf_b" => {
+                            for r in 0..8 {
+                                let v = if rest[0] == "grf_a" {
+                                    u.grf_a().read(r)
+                                } else {
+                                    u.grf_b().read(r)
+                                };
+                                out.push(format!("{}[{r}] = {}", rest[0], fmt_lanes(&v)));
+                            }
+                        }
+                        "srf_m" | "srf_a" => {
+                            let vals: Vec<String> = (0..8)
+                                .map(|r| {
+                                    let s = if rest[0] == "srf_m" {
+                                        u.srf_m().read(r)
+                                    } else {
+                                        u.srf_a().read(r)
+                                    };
+                                    format!("{}", s.to_f32())
+                                })
+                                .collect();
+                            out.push(format!("{} = [{}]", rest[0], vals.join(", ")));
+                        }
+                        other => return err(line, format!("unknown register file `{other}`")),
+                    }
+                }
+                "stats" => {
+                    let s = self.channel.inner().stats();
+                    out.push(format!(
+                        "mode={} transitions={} ab_acts={} ab_reads={} ab_writes={} triggers={}",
+                        self.channel.inner().mode(),
+                        s.mode_transitions,
+                        s.ab_acts,
+                        s.ab_reads,
+                        s.ab_writes,
+                        s.pim_triggers
+                    ));
+                }
+                "trace" => {
+                    out.push(self.channel.render());
+                }
+                other => return err(line, format!("unknown command `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> PimMode {
+        self.channel.inner().mode()
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ScriptError> {
+    Err(ScriptError { line, message: message.into() })
+}
+
+fn parse<T: std::str::FromStr>(tok: &str, line: usize) -> Result<T, ScriptError> {
+    tok.parse().map_err(|_| ScriptError { line, message: format!("bad number `{tok}`") })
+}
+
+fn parse_floats(toks: &[&str], n: usize, line: usize) -> Result<[f32; 16], ScriptError> {
+    if toks.len() != n {
+        return err(line, format!("expected {n} values, got {}", toks.len()));
+    }
+    let mut vals = [0.0f32; 16];
+    for (v, t) in vals.iter_mut().zip(toks.iter()) {
+        *v = parse(t, line)?;
+    }
+    Ok(vals)
+}
+
+fn fmt_lanes(v: &LaneVec) -> String {
+    let lanes: Vec<String> = v.lanes().iter().map(|l: &F16| format!("{}", l.to_f32())).collect();
+    format!("[{}]", lanes.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+# seed unit 0's even bank
+poke 0 0 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+mode ab
+program
+  MUL GRF_A[0], EVEN_BANK, SRF_M[0]
+  MOV EVEN_BANK, GRF_A[0]
+  EXIT
+end
+srf 2 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0
+pim on
+act 0
+rd 0
+rd 0
+pre
+pim off
+mode sb
+peek 0 0 0
+stats
+"#;
+
+    #[test]
+    fn demo_script_runs_end_to_end() {
+        let mut s = ScriptSession::new();
+        let out = s.run(DEMO).unwrap();
+        assert_eq!(s.mode(), PimMode::SingleBank);
+        assert!(out.iter().any(|l| l.contains("loaded 3 instructions")), "{out:?}");
+        // The kernel doubled the seeded vector in place.
+        let peek = out.iter().find(|l| l.starts_with("peek")).unwrap();
+        assert!(peek.contains("[2, 4, 6, 8"), "{peek}");
+        let stats = out.iter().find(|l| l.starts_with("mode=")).unwrap();
+        assert!(stats.contains("triggers=16"), "{stats}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut s = ScriptSession::new();
+        let e = s.run("mode ab\nbogus cmd\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = ScriptSession::new().run("rd 0").unwrap_err();
+        assert!(e.message.contains("closed bank") || e.message.contains("RD"), "{e}");
+    }
+
+    #[test]
+    fn program_without_end_rejected() {
+        let e = ScriptSession::new().run("program\nEXIT\n").unwrap_err();
+        assert!(e.message.contains("end"));
+    }
+
+    #[test]
+    fn assembly_errors_point_into_the_block() {
+        let e = ScriptSession::new().run("mode ab\nprogram\nBOGUS\nend\n").unwrap_err();
+        assert!(e.message.contains("BOGUS"));
+        assert!(e.line >= 3, "line {}", e.line);
+    }
+
+    #[test]
+    fn dump_and_trace_produce_output() {
+        let mut s = ScriptSession::new();
+        let out = s.run("mode ab\nsrf 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16\ndump srf_m 0\ndump srf_a 0\ntrace").unwrap();
+        assert!(out.iter().any(|l| l.contains("srf_m = [1, 2, 3")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("srf_a = [9, 10")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("ACT")), "trace should show commands");
+    }
+}

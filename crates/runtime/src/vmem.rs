@@ -1,0 +1,211 @@
+//! Virtual-to-physical translation for PIM buffers (Sections V-A / IX).
+//!
+//! The paper's stack is explicit about why the driver hands out
+//! *physically contiguous* memory: the runtime must "correctly access a
+//! target DRAM bank, row, and column of the (interleaved or scrambled)
+//! physical address" (Section IX), and a PIM kernel's lock-step layout is
+//! computed in physical coordinates. "Receiving a request from an upper
+//! software layer, the PIM device driver allocates physically contiguous
+//! memory blocks. This allows us not to worry about virtual-physical
+//! address translations for PIM kernels" (Section V-A).
+//!
+//! This module models both sides: a page-granular [`VirtualMapping`] and
+//! the contiguity check the driver's allocator guarantees by construction.
+//! The test demonstrates the failure the paper is avoiding: a scattered
+//! mapping sends a virtually-contiguous buffer to physically disarranged
+//! channels, breaking the lock-step layout invariant.
+
+use pim_dram::AddressMapping;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Page size of the host's virtual memory system.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A translation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmemError {
+    /// The virtual page has no mapping.
+    Unmapped {
+        /// The faulting virtual address.
+        vaddr: u64,
+    },
+    /// The buffer's physical pages are not contiguous.
+    NotContiguous {
+        /// First virtual address whose physical page breaks the run.
+        vaddr: u64,
+    },
+}
+
+impl fmt::Display for VmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmemError::Unmapped { vaddr } => write!(f, "page fault at {vaddr:#x}"),
+            VmemError::NotContiguous { vaddr } => {
+                write!(f, "physical discontiguity at {vaddr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmemError {}
+
+/// A page-granular virtual → physical mapping.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualMapping {
+    pages: HashMap<u64, u64>, // vpage -> ppage
+}
+
+impl VirtualMapping {
+    /// An empty address space.
+    pub fn new() -> VirtualMapping {
+        VirtualMapping::default()
+    }
+
+    /// Maps `n` virtual pages starting at `vbase` to physically
+    /// **contiguous** pages starting at `pbase` — what the PIM driver's
+    /// allocator produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned bases.
+    pub fn map_contiguous(&mut self, vbase: u64, pbase: u64, n: u64) {
+        assert_eq!(vbase % PAGE_BYTES, 0, "virtual base must be page-aligned");
+        assert_eq!(pbase % PAGE_BYTES, 0, "physical base must be page-aligned");
+        for i in 0..n {
+            self.pages.insert(vbase / PAGE_BYTES + i, pbase / PAGE_BYTES + i);
+        }
+    }
+
+    /// Maps `n` virtual pages to an explicit list of physical pages — the
+    /// general-purpose allocator's scattered result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppages.len() != n` or bases are unaligned.
+    pub fn map_scattered(&mut self, vbase: u64, ppages: &[u64]) {
+        assert_eq!(vbase % PAGE_BYTES, 0);
+        for (i, &pp) in ppages.iter().enumerate() {
+            assert_eq!(pp % PAGE_BYTES, 0, "physical page must be aligned");
+            self.pages.insert(vbase / PAGE_BYTES + i as u64, pp / PAGE_BYTES);
+        }
+    }
+
+    /// Translates one virtual address.
+    ///
+    /// # Errors
+    ///
+    /// [`VmemError::Unmapped`] on a page fault.
+    pub fn translate(&self, vaddr: u64) -> Result<u64, VmemError> {
+        let vpage = vaddr / PAGE_BYTES;
+        let off = vaddr % PAGE_BYTES;
+        self.pages
+            .get(&vpage)
+            .map(|pp| pp * PAGE_BYTES + off)
+            .ok_or(VmemError::Unmapped { vaddr })
+    }
+
+    /// Verifies the driver's invariant over a buffer: every page present
+    /// and physically contiguous, returning the physical base.
+    ///
+    /// # Errors
+    ///
+    /// [`VmemError::Unmapped`] or [`VmemError::NotContiguous`].
+    pub fn require_contiguous(&self, vbase: u64, bytes: u64) -> Result<u64, VmemError> {
+        let pbase = self.translate(vbase)?;
+        let pages = bytes.div_ceil(PAGE_BYTES);
+        for i in 1..pages {
+            let vaddr = vbase + i * PAGE_BYTES;
+            let p = self.translate(vaddr)?;
+            if p != pbase + i * PAGE_BYTES {
+                return Err(VmemError::NotContiguous { vaddr });
+            }
+        }
+        Ok(pbase)
+    }
+
+    /// The set of pseudo channels a virtually-contiguous buffer actually
+    /// touches under `mapping` — the diagnostic behind the lock-step
+    /// layout invariant.
+    pub fn channels_touched(
+        &self,
+        mapping: &AddressMapping,
+        vbase: u64,
+        bytes: u64,
+    ) -> Result<Vec<usize>, VmemError> {
+        let mut channels = std::collections::BTreeSet::new();
+        let mut a = vbase;
+        while a < vbase + bytes {
+            let p = self.translate(a)?;
+            channels.insert(mapping.decode(p).pch);
+            a += 32;
+        }
+        Ok(channels.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_mapping_translates_and_passes_the_check() {
+        let mut vm = VirtualMapping::new();
+        vm.map_contiguous(0x10_0000, 0x40_0000, 4);
+        assert_eq!(vm.translate(0x10_0123).unwrap(), 0x40_0123);
+        assert_eq!(vm.require_contiguous(0x10_0000, 4 * PAGE_BYTES).unwrap(), 0x40_0000);
+    }
+
+    #[test]
+    fn page_faults_are_reported() {
+        let vm = VirtualMapping::new();
+        assert_eq!(vm.translate(0x1234), Err(VmemError::Unmapped { vaddr: 0x1234 }));
+    }
+
+    #[test]
+    fn scattered_mapping_fails_the_driver_invariant() {
+        let mut vm = VirtualMapping::new();
+        // Pages from a general allocator: shuffled frames.
+        vm.map_scattered(0, &[0x9000, 0x3000, 0x7000]);
+        let e = vm.require_contiguous(0, 3 * PAGE_BYTES).unwrap_err();
+        assert!(matches!(e, VmemError::NotContiguous { .. }));
+        // Individual translation still works — the pages exist, they're
+        // just not PIM-usable as one buffer.
+        assert_eq!(vm.translate(PAGE_BYTES + 4).unwrap(), 0x3004);
+    }
+
+    #[test]
+    fn scattering_breaks_the_channel_interleave_pattern() {
+        // The concrete failure the paper avoids: the runtime computes its
+        // layout assuming the driver's contiguous interleave; a scattered
+        // buffer visits the same channels in a *different order/pattern*,
+        // so lock-step operands land in the wrong banks.
+        let mapping = AddressMapping::new(16);
+        let mut contiguous = VirtualMapping::new();
+        contiguous.map_contiguous(0, 0, 2);
+        let mut scattered = VirtualMapping::new();
+        scattered.map_scattered(0, &[PAGE_BYTES * 5, PAGE_BYTES * 2]);
+
+        let a = contiguous.channels_touched(&mapping, 0, 2 * PAGE_BYTES).unwrap();
+        let b = scattered.channels_touched(&mapping, 0, 2 * PAGE_BYTES).unwrap();
+        // Both sweep all 16 channels (pages are bigger than the 256 B
+        // interleave)...
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        // ...but the per-address assignment differs: find a 32-byte block
+        // whose channel changed.
+        let mut diverged = false;
+        for off in (0..2 * PAGE_BYTES).step_by(32) {
+            let pa = contiguous.translate(off).unwrap();
+            let pb = scattered.translate(off).unwrap();
+            if mapping.decode(pa).pch != mapping.decode(pb).pch
+                || mapping.decode(pa).bank != mapping.decode(pb).bank
+                || mapping.decode(pa).row != mapping.decode(pb).row
+            {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "scattering must perturb the physical layout");
+    }
+}

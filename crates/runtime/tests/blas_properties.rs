@@ -1,0 +1,124 @@
+//! Property-based tests of PIM-BLAS: random shapes and data through the
+//! full stack, checked against f32 references computed with the device's
+//! FP16 rounding semantics.
+
+use pim_fp16::F16;
+use pim_host::ExecutionMode;
+use pim_runtime::{PimBlas, PimContext};
+use proptest::prelude::*;
+
+/// Small, well-scaled values: FP16 exact-friendly without being trivial.
+fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-512i32..512).prop_map(|v| v as f32 * 0.125), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// ADD matches the FP16 reference for random lengths and data.
+    #[test]
+    fn add_matches_reference(
+        n in 1usize..3000,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<f32> = (0..2 * n)
+            .map(|i| {
+                let h = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((i as u64).wrapping_mul(0x2545F4914F6CDD1D));
+                ((h >> 32) as i32 % 256) as f32 * 0.25
+            })
+            .collect();
+        let (x, y) = data.split_at(n);
+        let mut ctx = PimContext::small_system();
+        let (z, _) = PimBlas::add(&mut ctx, x, y).unwrap();
+        for i in 0..n {
+            let want = (F16::from_f32(x[i]) + F16::from_f32(y[i])).to_f32();
+            prop_assert_eq!(z[i], want, "element {}", i);
+        }
+    }
+
+    /// AXPY matches the two-step-rounded reference.
+    #[test]
+    fn axpy_matches_reference(
+        x in values(200),
+        y in values(200),
+        a in -8i32..8,
+    ) {
+        let a = a as f32 * 0.25;
+        let mut ctx = PimContext::small_system();
+        let (z, _) = PimBlas::axpy(&mut ctx, a, &x, &y).unwrap();
+        for i in 0..x.len() {
+            let want = F16::from_f32(x[i]).mac(F16::from_f32(a), F16::from_f32(y[i])).to_f32();
+            prop_assert_eq!(z[i], want, "element {}", i);
+        }
+    }
+
+    /// ReLU is exact for every input.
+    #[test]
+    fn relu_matches_reference(x in values(500)) {
+        let mut ctx = PimContext::small_system();
+        let (z, _) = PimBlas::relu(&mut ctx, &x).unwrap();
+        for i in 0..x.len() {
+            prop_assert_eq!(z[i], x[i].max(0.0), "element {}", i);
+        }
+    }
+
+    /// GEMV stays within FP16 accumulation error of the f32 reference for
+    /// random small shapes.
+    #[test]
+    fn gemv_matches_reference(
+        n in 1usize..96,
+        k in 1usize..96,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as i32 % 16) as f32 / 16.0
+        };
+        let w: Vec<f32> = (0..n * k).map(|_| next()).collect();
+        let x: Vec<f32> = (0..k).map(|_| next()).collect();
+        let mut ctx = PimContext::small_system();
+        let (out, _) = PimBlas::gemv(&mut ctx, &w, n, k, &x).unwrap();
+        let reference = PimBlas::reference_gemv(&w, n, k, &x);
+        for o in 0..n {
+            let tol = 0.01 * reference[o].abs().max(1.0) + 0.02;
+            prop_assert!(
+                (out[o] - reference[o]).abs() <= tol,
+                "output {}: {} vs {}", o, out[o], reference[o]
+            );
+        }
+    }
+
+    /// AAM order-tolerance, fuzzed: any controller reordering within the
+    /// fence windows leaves stream-kernel results bit-identical (Section
+    /// IV-C, Fig. 5(d/e)).
+    #[test]
+    fn aam_tolerates_any_in_window_reordering(
+        seed in any::<u64>(),
+        n in 64usize..4096,
+    ) {
+        let x: Vec<f32> = (0..n).map(|i| (i % 89) as f32 * 0.5).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i % 71) as f32 * 0.25).collect();
+        let mut in_order = PimContext::small_system();
+        let (a, _) = PimBlas::add(&mut in_order, &x, &y).unwrap();
+        let mut reordered = PimContext::small_system();
+        reordered.set_mode(ExecutionMode::Fenced { reorder_seed: Some(seed) });
+        let (b, _) = PimBlas::add(&mut reordered, &x, &y).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Kernel timing is monotone in problem size (more elements never take
+    /// fewer cycles).
+    #[test]
+    fn add_cycles_monotone(n in 64usize..2000) {
+        let mut ctx = PimContext::small_system();
+        let x = vec![1.0f32; n];
+        let (_, small) = PimBlas::add(&mut ctx, &x, &x).unwrap();
+        let mut ctx2 = PimContext::small_system();
+        let x2 = vec![1.0f32; n * 4];
+        let (_, big) = PimBlas::add(&mut ctx2, &x2, &x2).unwrap();
+        prop_assert!(big.cycles >= small.cycles);
+    }
+}

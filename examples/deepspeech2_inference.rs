@@ -1,0 +1,57 @@
+//! End-to-end DeepSpeech2 inference: the paper's flagship application.
+//!
+//! Executes the DS2 layer graph (2 convs + 6 bidirectional LSTM layers +
+//! FC) on the HBM baseline and on PIM-HBM at batch 1, printing per-layer
+//! times, the end-to-end speedup (paper: 3.5×), and the energy comparison
+//! (paper: 3.2× better efficiency).
+//!
+//! Run with: `cargo run -p pim-bench --example deepspeech2_inference --release`
+
+use pim_bench::report::{format_table, time};
+use pim_energy::SystemPowerModel;
+use pim_models::{models, CostModel, ModelRunner, SystemKind};
+
+fn main() {
+    let mut cost = CostModel::paper();
+    let power = SystemPowerModel::paper();
+    let model = models::deepspeech2();
+
+    let hbm = ModelRunner::run(&mut cost, &power, &model, SystemKind::ProcHbm, 1);
+    let pim = ModelRunner::run(&mut cost, &power, &model, SystemKind::PimHbm, 1);
+
+    println!("DeepSpeech2 inference, batch 1 (2-second utterance)\n");
+    let rows: Vec<Vec<String>> = hbm
+        .layers
+        .iter()
+        .zip(pim.layers.iter())
+        .map(|(h, p)| {
+            vec![
+                h.name.to_string(),
+                time(h.seconds),
+                time(p.seconds),
+                if p.on_pim { "PIM".into() } else { "host".into() },
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&["Layer", "PROC-HBM", "PIM-HBM", "runs on"], &rows));
+
+    println!(
+        "end-to-end: {} -> {}  = {:.2}x speedup (paper: 3.5x)",
+        time(hbm.total_seconds),
+        time(pim.total_seconds),
+        pim.speedup_over(&hbm)
+    );
+    let e_hbm = hbm.energy_j(&power);
+    let e_pim = pim.energy_j(&power);
+    println!(
+        "energy: {:.2} J -> {:.2} J = {:.2}x better efficiency (paper: 3.2x)",
+        e_hbm,
+        e_pim,
+        e_hbm / e_pim
+    );
+    println!(
+        "average power: {:.0} W -> {:.0} W (Fig. 13: faster AND lower power)",
+        hbm.trace.average_power_w(&power),
+        pim.trace.average_power_w(&power)
+    );
+}

@@ -1,0 +1,58 @@
+//! Embedding sparse-length-sum on PIM — the recommendation-model kernel
+//! the paper's introduction motivates (Section II-A) and excludes from the
+//! evaluation only for capacity reasons (Section VII-A).
+//!
+//! Demonstrates (1) the capacity check that rules real RM tables out, and
+//! (2) the SLS kernel itself on a table that does fit, with the row-
+//! conflict-bound timing random gathers really have.
+//!
+//! Run with: `cargo run -p pim-bench --example embedding_sls --release`
+
+use pim_models::capacity::{embedding_fits, MemoryCapacity};
+use pim_runtime::{PimBlas, PimContext};
+
+fn main() {
+    // 1. The paper's capacity argument, executable.
+    let cap = MemoryCapacity::paper_pim_system();
+    println!(
+        "system capacity: {} GB; production RM embeddings (256 GB) fit: {}",
+        cap.total_bytes() >> 30,
+        embedding_fits(&cap, 256 << 30)
+    );
+    assert!(!embedding_fits(&cap, 256 << 30));
+
+    // 2. A table that does fit: 4096 rows × 64 dims.
+    let rows = 4096;
+    let dim = 64;
+    let table: Vec<f32> = (0..rows * dim).map(|i| ((i % 17) as f32 - 8.0) * 0.125).collect();
+    // A "user history" of 40 pseudo-random lookups.
+    let mut state = 0xC0FFEEu64;
+    let indices: Vec<u32> = (0..40)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % rows as u64) as u32
+        })
+        .collect();
+
+    let mut ctx = PimContext::paper_system();
+    let (sum, report) = PimBlas::sls(&mut ctx, &table, rows, dim, &indices).expect("sls");
+
+    // Verify against the FP16 sequential reference.
+    let mut reference = vec![0.0f32; dim];
+    for d in 0..dim {
+        let mut acc = pim_fp16::F16::from_f32(table[indices[0] as usize * dim + d]);
+        for &i in &indices[1..] {
+            acc = acc + pim_fp16::F16::from_f32(table[i as usize * dim + d]);
+        }
+        reference[d] = acc.to_f32();
+    }
+    assert_eq!(sum, reference);
+    println!("SLS over {} lookups of {dim}-dim embeddings: verified", indices.len());
+    println!(
+        "kernel: {} cycles = {:.2} us, {} commands ({} per lookup: random rows pay ACT/PRE)",
+        report.cycles,
+        report.seconds * 1e6,
+        report.commands,
+        report.commands / indices.len() as u64 / ctx.sys.channel_count() as u64,
+    );
+}
