@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use pim_core::isa::{Instruction, Operand};
 use pim_core::{LaneVec, PimChannel, PimConfig, PimUnit, Trigger, TriggerKind};
 use pim_dram::{
-    BankAddr, Command, CommandSink, ControllerConfig, MemoryController, Request,
-    SchedulingPolicy, TimingParams,
+    BankAddr, Command, CommandSink, ControllerConfig, MemoryController, Request, SchedulingPolicy,
+    TimingParams,
 };
 use pim_fp16::F16;
 

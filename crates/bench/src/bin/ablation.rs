@@ -20,11 +20,7 @@ fn main() {
         host.fence_sync_overhead_cycles = sync;
         let mut cost = CostModel::new(host, PimConfig::paper(), TimingParams::hbm2());
         let r = cost.pim_gemv(8192, 8192);
-        rows.push(vec![
-            format!("{sync} cycles"),
-            time(r.seconds),
-            format!("{}", r.fences),
-        ]);
+        rows.push(vec![format!("{sync} cycles"), time(r.seconds), format!("{}", r.fences)]);
     }
     println!("{}", format_table(&["fence sync", "GEMV4 time", "fences"], &rows));
     println!("The shipped system sits at 24 cycles; the no-fence controller of");

@@ -14,12 +14,25 @@ fn main() {
         let mut speedups = vec![];
         for w in workloads::gemv_workloads() {
             let r = gemv_micro(&mut cost, &w, b);
-            println!("{} B{b}: hbm={:.1}us pim={:.1}us speedup={:.2} miss={:.2}", w.name, r.hbm_s*1e6, r.pim_s*1e6, r.speedup(), r.llc_miss);
+            println!(
+                "{} B{b}: hbm={:.1}us pim={:.1}us speedup={:.2} miss={:.2}",
+                w.name,
+                r.hbm_s * 1e6,
+                r.pim_s * 1e6,
+                r.speedup(),
+                r.llc_miss
+            );
             speedups.push(r.speedup());
         }
         for w in workloads::add_workloads() {
             let r = add_micro(&mut cost, &w, b);
-            println!("{} B{b}: hbm={:.1}us pim={:.1}us speedup={:.2}", w.name, r.hbm_s*1e6, r.pim_s*1e6, r.speedup());
+            println!(
+                "{} B{b}: hbm={:.1}us pim={:.1}us speedup={:.2}",
+                w.name,
+                r.hbm_s * 1e6,
+                r.pim_s * 1e6,
+                r.speedup()
+            );
             speedups.push(r.speedup());
         }
         println!("geo-mean B{b}: {:.2}", geo_mean(&speedups));
@@ -53,7 +66,9 @@ fn main() {
             let hbm = ModelRunner::run(&mut cost, &power, &m, SystemKind::ProcHbm, b);
             let pim = ModelRunner::run(&mut cost, &power, &m, SystemKind::PimHbm, b);
             let x4 = ModelRunner::run(&mut cost, &power, &m, SystemKind::ProcHbmX4, b);
-            let e_h = hbm.energy_j(&power); let e_p = pim.energy_j(&power); let e_x = x4.energy_j(&power);
+            let e_h = hbm.energy_j(&power);
+            let e_p = pim.energy_j(&power);
+            let e_x = x4.energy_j(&power);
             println!("{} B{b}: speedup={:.2} (hbm {:.1}ms pim {:.1}ms) eff_vs_hbm={:.2} eff_vs_x4={:.2} pimfrac={:.2}",
                 m.name, pim.speedup_over(&hbm), hbm.total_seconds*1e3, pim.total_seconds*1e3,
                 e_h/e_p, e_x/e_p, pim.pim_time_fraction());

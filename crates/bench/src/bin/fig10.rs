@@ -17,7 +17,9 @@ fn main() {
         })
         .collect();
     println!("{}", format_table(&["Workload", "Batch", "Rel. perf", "LLC miss (HBM)"], &table));
-    println!("paper= B1: GEMV 1.4~11.2x, ADD ~1.6x, DS2 3.5x, GNMT 1.5x, AlexNet 1.4x, ResNet 1.0x;");
+    println!(
+        "paper= B1: GEMV 1.4~11.2x, ADD ~1.6x, DS2 3.5x, GNMT 1.5x, AlexNet 1.4x, ResNet 1.0x;"
+    );
     println!("       B2: GEMV4 3.2x, DS2 1.6x, RNN-T 1.9x; B4: HBM outperforms for GEMV.");
     println!("       LLC miss ~100% at B1 dropping to 70-80% at B4.");
 }

@@ -22,6 +22,12 @@ fn main() {
     println!("{}", format_table(&["Component", "HBM", "PIM-HBM"], &rows));
     println!("power ratio         = {:.3}   (paper: 1.054, '5.4% higher power')", f.power_ratio);
     println!("on-chip bandwidth   = {:.1}x   (paper: 4x)", f.bandwidth_ratio);
-    println!("energy/bit ratio    = {:.2}x   (paper: ~3.5x lower energy per bit)", f.energy_per_bit_ratio);
-    println!("buffer-I/O gating   = {:.1}%   (paper: '~10% lower than HBM' if gated)", f.buffer_gating_saving * 100.0);
+    println!(
+        "energy/bit ratio    = {:.2}x   (paper: ~3.5x lower energy per bit)",
+        f.energy_per_bit_ratio
+    );
+    println!(
+        "buffer-I/O gating   = {:.1}%   (paper: '~10% lower than HBM' if gated)",
+        f.buffer_gating_saving * 100.0
+    );
 }

@@ -3,9 +3,9 @@
 //! every lock-step column command finds both operands at the same
 //! (row, column) across banks.
 use pim_bench::report::format_table;
+use pim_core::PimConfig;
 use pim_runtime::kernels::{stream_columns, StreamOp};
 use pim_runtime::layout::BlockMap;
-use pim_core::PimConfig;
 
 fn main() {
     println!("Fig. 15: data placement of vectors a and b for PIM ADD\n");

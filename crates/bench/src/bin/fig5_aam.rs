@@ -5,8 +5,14 @@ fn main() {
     println!("Fig. 5: ordering MAC/ADD triggers under DRAM-controller reordering\n");
     let r = pim_bench::experiments::fig5_aam_demo();
     println!("fenced, program order      : max |err| = {}", r.fenced_in_order_err);
-    println!("fenced, reordered in-window: max |err| = {}  (AAM makes reordering invisible)", r.fenced_reordered_err);
-    println!("NO fences, reordered       : max |err| = {}  (Fig. 5(c): wrong operands)", r.unfenced_reordered_err);
+    println!(
+        "fenced, reordered in-window: max |err| = {}  (AAM makes reordering invisible)",
+        r.fenced_reordered_err
+    );
+    println!(
+        "NO fences, reordered       : max |err| = {}  (Fig. 5(c): wrong operands)",
+        r.unfenced_reordered_err
+    );
     assert_eq!(r.fenced_in_order_err, 0.0);
     assert_eq!(r.fenced_reordered_err, 0.0);
     assert!(r.unfenced_reordered_err > 0.0);

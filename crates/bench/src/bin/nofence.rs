@@ -3,7 +3,9 @@
 fn main() {
     println!("No-fence experiment: ordered PIM-mode controller vs fenced baseline\n");
     for (batch, gain) in pim_bench::experiments::nofence() {
-        println!("batch {batch}: removing fences speeds PIM microbenchmarks by {gain:.2}x (geo-mean)");
+        println!(
+            "batch {batch}: removing fences speeds PIM microbenchmarks by {gain:.2}x (geo-mean)"
+        );
     }
     println!("\npaper= 2.2x / 1.9x / 2.0x for batch 1 / 2 / 4.");
 }

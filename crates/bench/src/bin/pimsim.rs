@@ -28,12 +28,18 @@ stats
 "#;
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = args.iter().any(|a| a == "--profile");
+    args.retain(|a| a != "--profile");
+    let arg = args.first().cloned();
     let source = match arg.as_deref() {
         Some("--help") | Some("-h") => {
-            println!("usage: pimsim [SCRIPT.pim | --demo]   (stdin if omitted)\n");
+            println!("usage: pimsim [SCRIPT.pim | --demo] [--profile]   (stdin if omitted)\n");
             println!("commands: mode ab|sb, pim on|off, program..end, srf, poke, peek,");
-            println!("          act, rd, wr, pre, prea, dump, stats, trace  (# comments)");
+            println!("          act, rd, wr, pre, prea, dump, stats, trace, profile  (# comments)");
+            println!(
+                "\n--profile attaches a recorder and prints the metrics profile after the run"
+            );
             return;
         }
         Some("--demo") => {
@@ -51,12 +57,19 @@ fn main() {
         }
     };
     let mut session = ScriptSession::new();
+    if profile {
+        session.enable_profiling();
+    }
     match session.run(&source) {
         Ok(output) => {
             for line in output {
                 println!("{line}");
             }
             println!("-- done at cycle {} in {} mode", session.now(), session.mode());
+            if let Some(recorder) = session.recorder() {
+                println!();
+                print!("{}", pim_bench::profile::render_profile(&recorder.metrics()));
+            }
         }
         Err(e) => {
             eprintln!("pimsim: {e}");

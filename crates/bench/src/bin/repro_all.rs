@@ -8,8 +8,15 @@ fn main() {
     println!("# PIM-HBM reproduction — full sweep\n");
 
     let c = exp::table2();
-    println!("Table II: MUL {} ADD {} MAC {} MAD {} MOV {} (compute total {})",
-        c.mul, c.add, c.mac, c.mad, c.mov, c.compute_total());
+    println!(
+        "Table II: MUL {} ADD {} MAC {} MAD {} MOV {} (compute total {})",
+        c.mul,
+        c.add,
+        c.mac,
+        c.mad,
+        c.mov,
+        c.compute_total()
+    );
 
     let f5 = exp::fig5_aam_demo();
     println!(
@@ -58,10 +65,8 @@ fn main() {
 
     let (_, geo) = exp::fig14();
     let base = geo.iter().find(|(v, _)| *v == "PIM-HBM").unwrap().1;
-    let deltas: Vec<String> = geo
-        .iter()
-        .map(|(v, g)| format!("{v} {:+.0}%", (g / base - 1.0) * 100.0))
-        .collect();
+    let deltas: Vec<String> =
+        geo.iter().map(|(v, g)| format!("{v} {:+.0}%", (g / base - 1.0) * 100.0)).collect();
     println!("\nFig 14 (geo-mean vs base): {}", deltas.join(" | "));
 
     let gains: Vec<f64> = exp::nofence().into_iter().map(|(_, g)| g).collect();

@@ -6,13 +6,47 @@ fn main() {
     let c = pim_bench::experiments::table2();
     println!("Table II: operand combinations enumerated from the ISA\n");
     let rows = vec![
-        vec!["MUL".into(), "GRF, BANK".into(), "GRF, BANK, SRF_M".into(), "GRF".into(), c.mul.to_string()],
-        vec!["ADD".into(), "GRF, BANK, SRF_A".into(), "GRF, BANK, SRF_A".into(), "GRF".into(), c.add.to_string()],
-        vec!["MAC".into(), "GRF, BANK".into(), "GRF, BANK, SRF_M".into(), "GRF_B".into(), c.mac.to_string()],
-        vec!["MAD".into(), "GRF, BANK".into(), "GRF, BANK, SRF_M (+SRF_A)".into(), "GRF".into(), c.mad.to_string()],
-        vec!["MOV(ReLU)".into(), "GRF, BANK, SRF".into(), "-".into(), "GRF".into(), c.mov.to_string()],
+        vec![
+            "MUL".into(),
+            "GRF, BANK".into(),
+            "GRF, BANK, SRF_M".into(),
+            "GRF".into(),
+            c.mul.to_string(),
+        ],
+        vec![
+            "ADD".into(),
+            "GRF, BANK, SRF_A".into(),
+            "GRF, BANK, SRF_A".into(),
+            "GRF".into(),
+            c.add.to_string(),
+        ],
+        vec![
+            "MAC".into(),
+            "GRF, BANK".into(),
+            "GRF, BANK, SRF_M".into(),
+            "GRF_B".into(),
+            c.mac.to_string(),
+        ],
+        vec![
+            "MAD".into(),
+            "GRF, BANK".into(),
+            "GRF, BANK, SRF_M (+SRF_A)".into(),
+            "GRF".into(),
+            c.mad.to_string(),
+        ],
+        vec![
+            "MOV(ReLU)".into(),
+            "GRF, BANK, SRF".into(),
+            "-".into(),
+            "GRF".into(),
+            c.mov.to_string(),
+        ],
     ];
     println!("{}", format_table(&["Op. Type", "SRC0", "SRC1", "DST", "# of Combinations"], &rows));
-    println!("compute total = {} (paper: 114), data movements = {} (paper: 24)", c.compute_total(), c.mov);
+    println!(
+        "compute total = {} (paper: 114), data movements = {} (paper: 24)",
+        c.compute_total(),
+        c.mov
+    );
     println!("paper= MUL 32, ADD 40, MAC 14, MAD 28, MOV 24 -- all reproduced exactly.");
 }

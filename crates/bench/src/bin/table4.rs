@@ -3,10 +3,10 @@ use pim_bench::report::format_table;
 
 fn main() {
     println!("Table IV: Specification of PIM execution unit\n");
-    let rows: Vec<Vec<String>> = pim_bench::experiments::table4()
-        .into_iter()
-        .map(|(k, v)| vec![k, v])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        pim_bench::experiments::table4().into_iter().map(|(k, v)| vec![k, v]).collect();
     println!("{}", format_table(&["Parameter", "Value"], &rows));
-    println!("paper= identical structural values; 9.6 GFLOPS is derived (16 lanes x 2 ops x 300MHz).");
+    println!(
+        "paper= identical structural values; 9.6 GFLOPS is derived (16 lanes x 2 ops x 300MHz)."
+    );
 }

@@ -4,10 +4,8 @@ use pim_bench::report::format_table;
 
 fn main() {
     println!("Table V: Specification of PIM-HBM device\n");
-    let rows: Vec<Vec<String>> = pim_bench::experiments::table5()
-        .into_iter()
-        .map(|(k, v)| vec![k, v])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        pim_bench::experiments::table5().into_iter().map(|(k, v)| vec![k, v]).collect();
     println!("{}", format_table(&["Parameter", "Value"], &rows));
     println!("paper= 1TB/s~1.229TB/s on-chip, 256~307.2GB/s off-chip -- derived, not copied:");
     println!("       16 banks/pCH at tCCD_L with 8 operating banks vs 1 bank at tCCD_S.");

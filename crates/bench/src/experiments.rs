@@ -277,32 +277,33 @@ pub fn fig12() -> Vec<Fig12Row> {
     let host = HostConfig::paper();
 
     // Microbenchmarks: GEMV4 and ADD4 at batch 1, phases built directly.
-    let micro_row = |name: &str, r: &MicroResult, util_hbm: f64, power: &SystemPowerModel| -> Fig12Row {
-        let p_hbm = power.system_power_w(
-            HostPowerState::Streaming,
-            power.memory_stream_power_w(util_hbm, 4),
-        );
-        let p_pim = power.system_power_w(
-            HostPowerState::DrivingPim,
-            power.memory_pim_power_w(SystemPowerModel::PIM_PHASE_UTILIZATION),
-        );
-        // ×4: bandwidth-bound micro scales 4× faster at ~4× the
-        // memory-side power (see SystemPowerModel::x4_host_overhead).
-        let p_x4 = power.system_power_w(
-            HostPowerState::Streaming,
-            power.memory_stream_power_w(util_hbm, 16)
-                + power.host_power_w(HostPowerState::Streaming) * power.x4_host_overhead,
-        );
-        let t_hbm = r.hbm_s;
-        let t_pim = r.pim_s;
-        let t_x4 = r.hbm_s / 4.0;
-        let e = [p_hbm * t_hbm, p_pim * t_pim, p_x4 * t_x4];
-        Fig12Row {
-            name: name.to_string(),
-            rel_power: [1.0, p_pim / p_hbm, p_x4 / p_hbm],
-            rel_energy: [1.0, e[1] / e[0], e[2] / e[0]],
-        }
-    };
+    let micro_row =
+        |name: &str, r: &MicroResult, util_hbm: f64, power: &SystemPowerModel| -> Fig12Row {
+            let p_hbm = power.system_power_w(
+                HostPowerState::Streaming,
+                power.memory_stream_power_w(util_hbm, 4),
+            );
+            let p_pim = power.system_power_w(
+                HostPowerState::DrivingPim,
+                power.memory_pim_power_w(SystemPowerModel::PIM_PHASE_UTILIZATION),
+            );
+            // ×4: bandwidth-bound micro scales 4× faster at ~4× the
+            // memory-side power (see SystemPowerModel::x4_host_overhead).
+            let p_x4 = power.system_power_w(
+                HostPowerState::Streaming,
+                power.memory_stream_power_w(util_hbm, 16)
+                    + power.host_power_w(HostPowerState::Streaming) * power.x4_host_overhead,
+            );
+            let t_hbm = r.hbm_s;
+            let t_pim = r.pim_s;
+            let t_x4 = r.hbm_s / 4.0;
+            let e = [p_hbm * t_hbm, p_pim * t_pim, p_x4 * t_x4];
+            Fig12Row {
+                name: name.to_string(),
+                rel_power: [1.0, p_pim / p_hbm, p_x4 / p_hbm],
+                rel_energy: [1.0, e[1] / e[0], e[2] / e[0]],
+            }
+        };
     let g4 = workloads::gemv_workloads()[3];
     let r = gemv_micro(&mut cost, &g4, 1);
     out.push(micro_row("GEMV", &r, host.gemv_efficiency(1), &power));
@@ -316,8 +317,7 @@ pub fn fig12() -> Vec<Fig12Row> {
         let runs: Vec<RunReport> =
             systems.iter().map(|&s| ModelRunner::run(&mut cost, &power, &m, s, 1)).collect();
         let e: Vec<f64> = runs.iter().map(|r| r.energy_j(&power)).collect();
-        let p: Vec<f64> =
-            runs.iter().zip(e.iter()).map(|(r, e)| e / r.total_seconds).collect();
+        let p: Vec<f64> = runs.iter().zip(e.iter()).map(|(r, e)| e / r.total_seconds).collect();
         out.push(Fig12Row {
             name: m.name.to_string(),
             rel_power: [1.0, p[1] / p[0], p[2] / p[0]],

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod micro;
+pub mod profile;
 pub mod report;
 pub mod workloads;
 

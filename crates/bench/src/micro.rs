@@ -57,12 +57,7 @@ pub fn bn_micro(cost: &mut CostModel, w: &AddWorkload, batch: usize) -> MicroRes
     stream_micro(cost, w, batch, StreamOp::Bn)
 }
 
-fn stream_micro(
-    cost: &mut CostModel,
-    w: &AddWorkload,
-    batch: usize,
-    op: StreamOp,
-) -> MicroResult {
+fn stream_micro(cost: &mut CostModel, w: &AddWorkload, batch: usize, op: StreamOp) -> MicroResult {
     let elements = w.elements * batch;
     let pim = cost.pim_stream(op, elements);
     let hbm = cost.host_stream(op, elements, 1.0);
@@ -118,11 +113,7 @@ mod tests {
         let w = &workloads::add_workloads()[0];
         for batch in [1, 2, 4] {
             let r = add_micro(&mut cost, w, batch);
-            assert!(
-                r.speedup() > 1.0 && r.speedup() < 3.5,
-                "ADD B{batch} speedup {}",
-                r.speedup()
-            );
+            assert!(r.speedup() > 1.0 && r.speedup() < 3.5, "ADD B{batch} speedup {}", r.speedup());
         }
     }
 

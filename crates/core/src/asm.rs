@@ -47,9 +47,10 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
                 Some(c) if c > open => c,
                 _ => return err(line, format!("malformed index in operand `{tok}`")),
             };
-            let idx: u8 = tok[open + 1..close]
-                .parse()
-                .map_err(|_| AsmError { line, message: format!("bad register index in `{tok}`") })?;
+            let idx: u8 = tok[open + 1..close].parse().map_err(|_| AsmError {
+                line,
+                message: format!("bad register index in `{tok}`"),
+            })?;
             (&tok[..open], idx)
         }
         None => (tok, 0u8),
@@ -82,8 +83,7 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
     };
-    let operands: Vec<&str> =
-        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let operands: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
     let need = |n: usize| -> Result<(), AsmError> {
         if operands.len() == n {
             Ok(())
@@ -95,20 +95,23 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
     let instr = match mnemonic {
         "NOP" => {
             need(1)?;
-            let cycles: u32 = operands[0]
-                .parse()
-                .map_err(|_| AsmError { line, message: format!("bad NOP count `{}`", operands[0]) })?;
+            let cycles: u32 = operands[0].parse().map_err(|_| AsmError {
+                line,
+                message: format!("bad NOP count `{}`", operands[0]),
+            })?;
             Instruction::Nop { cycles: cycles.max(1) }
         }
         "JUMP" => {
             need(2)?;
-            let target: u8 = operands[0]
-                .parse()
-                .map_err(|_| AsmError { line, message: format!("bad JUMP target `{}`", operands[0]) })?;
+            let target: u8 = operands[0].parse().map_err(|_| AsmError {
+                line,
+                message: format!("bad JUMP target `{}`", operands[0]),
+            })?;
             let count_str = operands[1].strip_prefix('#').unwrap_or(operands[1]);
-            let count: u32 = count_str
-                .parse()
-                .map_err(|_| AsmError { line, message: format!("bad JUMP count `{}`", operands[1]) })?;
+            let count: u32 = count_str.parse().map_err(|_| AsmError {
+                line,
+                message: format!("bad JUMP count `{}`", operands[1]),
+            })?;
             Instruction::Jump { target, count }
         }
         "EXIT" => {

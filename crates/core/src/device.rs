@@ -39,6 +39,7 @@ use pim_dram::{
     BankAddr, Command, CommandSink, Cycle, DataBlock, IssueError, IssueOutcome, PseudoChannel,
     TimingParams,
 };
+use pim_obs::{names, Event, Recorder, Scope};
 
 /// First reserved row of the `PIM_CONF` region.
 pub const PIM_CONF_FIRST_ROW: u32 = 0x1FFA;
@@ -163,6 +164,10 @@ pub struct PimChannel {
     units: Vec<PimUnit>,
     ab: AbTiming,
     stats: PimChannelStats,
+    /// Observability hook; `None` (the default) costs one pointer test.
+    recorder: Option<Recorder>,
+    /// System-level channel index stamped into event scopes.
+    channel_id: u16,
 }
 
 impl PimChannel {
@@ -182,7 +187,21 @@ impl PimChannel {
             units,
             ab: AbTiming::default(),
             stats: PimChannelStats::default(),
+            recorder: None,
+            channel_id: 0,
         }
+    }
+
+    /// Attaches an observability recorder; `channel_id` is the system-level
+    /// channel index stamped into event scopes.
+    pub fn set_recorder(&mut self, recorder: Recorder, channel_id: u16) {
+        self.recorder = Some(recorder);
+        self.channel_id = channel_id;
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
     }
 
     /// Current operating mode.
@@ -266,9 +285,13 @@ impl PimChannel {
                 for &t in &targets {
                     for i in 0..8 {
                         let b = i * 4;
-                        let w = u32::from_le_bytes([data[b], data[b + 1], data[b + 2], data[b + 3]]);
+                        let w =
+                            u32::from_le_bytes([data[b], data[b + 1], data[b + 2], data[b + 3]]);
                         self.units[t].crf_mut().write_word(base + i, w);
                     }
+                }
+                if let Some(r) = &self.recorder {
+                    r.add(names::DEV_CRF_LOADS, 8 * targets.len() as u64);
                 }
             }
             SRF_ROW => {
@@ -353,6 +376,13 @@ impl PimChannel {
                 self.inner.bank_mut(addr).write_block(col, &v.to_block());
                 self.stats.bank_result_writes += 1;
             }
+        }
+        if let Some(r) = &self.recorder {
+            let n = self.units.len() as u64;
+            r.add(names::DEV_PIM_TRIGGERS, n);
+            // Each trigger occupies a unit's pipeline for one column slot
+            // (tCCD_L — "each bank can operate at every tCCD_L in AB mode").
+            r.add(names::DEV_UNIT_BUSY_CYCLES, n * self.inner.timing().t_ccd_l);
         }
     }
 
@@ -484,17 +514,10 @@ impl PimChannel {
             Command::Ref => now.max(self.ab.next_act),
         }
     }
-}
 
-impl CommandSink for PimChannel {
-    fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Cycle {
-        match self.mode {
-            PimMode::SingleBank => self.inner.earliest_issue(cmd, now),
-            _ => self.earliest_ab(cmd, now),
-        }
-    }
-
-    fn issue(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, IssueError> {
+    /// The mode-independent issue path; [`CommandSink::issue`] wraps it to
+    /// observe mode transitions.
+    fn issue_inner(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, IssueError> {
         if self.mode != PimMode::SingleBank {
             return self.issue_ab(cmd, cycle);
         }
@@ -523,10 +546,9 @@ impl CommandSink for PimChannel {
                         open_row: None,
                         // Inherit the post-PRE horizon so the first all-bank
                         // ACT respects tRP.
-                        next_act: self.inner.earliest_issue(
-                            &Command::Act { bank: *bank, row: 0 },
-                            cycle,
-                        ),
+                        next_act: self
+                            .inner
+                            .earliest_issue(&Command::Act { bank: *bank, row: 0 }, cycle),
                         next_col: cycle,
                         next_pre: cycle,
                     };
@@ -553,6 +575,32 @@ impl CommandSink for PimChannel {
             Command::PreAll | Command::Ref => {}
         }
         Ok(outcome)
+    }
+}
+
+impl CommandSink for PimChannel {
+    fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Cycle {
+        match self.mode {
+            PimMode::SingleBank => self.inner.earliest_issue(cmd, now),
+            _ => self.earliest_ab(cmd, now),
+        }
+    }
+
+    fn issue(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, IssueError> {
+        let before = self.mode;
+        let result = self.issue_inner(cmd, cycle);
+        if self.mode != before {
+            if let Some(r) = &self.recorder {
+                r.add(names::DEV_MODE_TRANSITIONS, 1);
+                r.emit(Event::instant(
+                    cycle,
+                    format!("{before}->{}", self.mode),
+                    names::CAT_MODE,
+                    Scope::channel(self.channel_id),
+                ));
+            }
+        }
+        result
     }
 
     fn open_row(&self, bank: BankAddr) -> Option<u32> {
@@ -808,6 +856,63 @@ mod tests {
             assert_eq!(ch.unit(u).srf_m().read(2).to_f32(), 1.0);
             assert_eq!(ch.unit(u).srf_a().read(2).to_f32(), 5.0);
         }
+    }
+
+    #[test]
+    fn recorder_observes_transitions_crf_and_triggers() {
+        let mut ch = fresh();
+        ch.set_recorder(Recorder::vec(), 0);
+        let b = BankAddr::new(0, 0);
+        let now = run(&mut ch, &enter_ab_sequence(), 0);
+        // Program a one-instruction kernel so triggers execute.
+        let prog = [
+            Instruction::Mov {
+                dst: Operand::grf_a(0),
+                src: Operand::even_bank(),
+                relu: false,
+                aam: false,
+            },
+            Instruction::Exit,
+        ];
+        let mut crf_block = [0u8; 32];
+        for (i, ins) in prog.iter().enumerate() {
+            crf_block[i * 4..i * 4 + 4].copy_from_slice(&ins.encode().to_le_bytes());
+        }
+        let now = run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: CRF_ROW },
+                Command::Wr { bank: b, col: 0, data: crf_block },
+                Command::Pre { bank: b },
+            ],
+            now,
+        );
+        let now = run(&mut ch, &set_pim_op_mode_sequence(true), now);
+        let now = run(
+            &mut ch,
+            &[
+                Command::Act { bank: b, row: 1 },
+                Command::Rd { bank: b, col: 0 },
+                Command::Pre { bank: b },
+            ],
+            now,
+        );
+        let now = run(&mut ch, &set_pim_op_mode_sequence(false), now);
+        let _ = run(&mut ch, &exit_ab_sequence(), now);
+
+        let r = ch.recorder().unwrap();
+        let m = r.metrics().registry;
+        assert_eq!(m.counter(pim_obs::names::DEV_MODE_TRANSITIONS), ch.stats().mode_transitions);
+        assert_eq!(m.counter(pim_obs::names::DEV_CRF_LOADS), 8 * 8, "8 words x 8 units");
+        assert_eq!(m.counter(pim_obs::names::DEV_PIM_TRIGGERS), 8);
+        assert!(m.counter(pim_obs::names::DEV_UNIT_BUSY_CYCLES) > 0);
+        let events = r.events().unwrap();
+        let modes: Vec<&str> = events
+            .iter()
+            .filter(|e| e.cat == pim_obs::names::CAT_MODE)
+            .map(|e| e.name.as_ref())
+            .collect();
+        assert_eq!(modes, ["SB->AB", "AB->AB-PIM", "AB-PIM->AB", "AB->SB"]);
     }
 
     #[test]

@@ -380,7 +380,9 @@ impl Instruction {
             Instruction::Mov { dst, src, relu, aam } => {
                 encode_fields(OP_MOV, dst, src, None, aam, relu)
             }
-            Instruction::Fill { dst, src, aam } => encode_fields(OP_FILL, dst, src, None, aam, false),
+            Instruction::Fill { dst, src, aam } => {
+                encode_fields(OP_FILL, dst, src, None, aam, false)
+            }
             Instruction::Add { dst, src0, src1, aam } => {
                 encode_fields(OP_ADD, dst, src0, Some(src1), aam, false)
             }
@@ -435,10 +437,7 @@ impl Instruction {
 
     /// `true` for flow-control instructions (NOP/JUMP/EXIT).
     pub fn is_control(&self) -> bool {
-        matches!(
-            self,
-            Instruction::Nop { .. } | Instruction::Jump { .. } | Instruction::Exit
-        )
+        matches!(self, Instruction::Nop { .. } | Instruction::Jump { .. } | Instruction::Exit)
     }
 
     /// `true` for arithmetic instructions (ADD/MUL/MAC/MAD).
@@ -476,8 +475,8 @@ impl Instruction {
             if !dst.kind.is_grf() && !dst.kind.is_bank() && !dst.kind.is_srf() {
                 return Err(format!("{} cannot be a destination", dst.kind));
             }
-            let banks = srcs.iter().filter(|o| o.kind.is_bank()).count()
-                + dst.kind.is_bank() as usize;
+            let banks =
+                srcs.iter().filter(|o| o.kind.is_bank()).count() + dst.kind.is_bank() as usize;
             if banks > 1 {
                 return Err("at most one bank operand per instruction".into());
             }
@@ -485,7 +484,10 @@ impl Instruction {
             if srfs > 1 {
                 return Err("at most one scalar (SRF) operand per instruction".into());
             }
-            if accumulating && srcs.len() == 2 && srcs[0].kind.is_grf() && srcs[0].kind == srcs[1].kind
+            if accumulating
+                && srcs.len() == 2
+                && srcs[0].kind.is_grf()
+                && srcs[0].kind == srcs[1].kind
             {
                 return Err("accumulating ops cannot read the same GRF file twice".into());
             }
@@ -656,12 +658,37 @@ mod tests {
             Instruction::Nop { cycles: 3 },
             Instruction::Jump { target: 5, count: 100 },
             Instruction::Exit,
-            Instruction::Mov { dst: Operand::grf_a(1), src: Operand::even_bank(), relu: true, aam: false },
+            Instruction::Mov {
+                dst: Operand::grf_a(1),
+                src: Operand::even_bank(),
+                relu: true,
+                aam: false,
+            },
             Instruction::Fill { dst: Operand::srf_m(0), src: Operand::wdata(), aam: false },
-            Instruction::Add { dst: Operand::grf_b(7), src0: Operand::grf_a(3), src1: Operand::odd_bank(), aam: true },
-            Instruction::Mul { dst: Operand::grf_a(0), src0: Operand::even_bank(), src1: Operand::srf_m(4), aam: false },
-            Instruction::Mac { dst: Operand::grf_b(2), src0: Operand::even_bank(), src1: Operand::srf_m(2), aam: true },
-            Instruction::Mad { dst: Operand::grf_a(6), src0: Operand::odd_bank(), src1: Operand::srf_m(1), aam: false },
+            Instruction::Add {
+                dst: Operand::grf_b(7),
+                src0: Operand::grf_a(3),
+                src1: Operand::odd_bank(),
+                aam: true,
+            },
+            Instruction::Mul {
+                dst: Operand::grf_a(0),
+                src0: Operand::even_bank(),
+                src1: Operand::srf_m(4),
+                aam: false,
+            },
+            Instruction::Mac {
+                dst: Operand::grf_b(2),
+                src0: Operand::even_bank(),
+                src1: Operand::srf_m(2),
+                aam: true,
+            },
+            Instruction::Mad {
+                dst: Operand::grf_a(6),
+                src0: Operand::odd_bank(),
+                src1: Operand::srf_m(1),
+                aam: false,
+            },
         ];
         for i in instrs {
             let word = i.encode();

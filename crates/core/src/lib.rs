@@ -60,8 +60,8 @@ pub mod conf {
     //! The reserved `PIM_CONF` memory map and mode-transition command
     //! sequences (Section III-B, Fig. 3).
     pub use crate::device::{
-        enter_ab_sequence, exit_ab_sequence, set_pim_op_mode_sequence, ABMR_ROW, CRF_ROW,
-        GRF_ROW, PIM_CONF_FIRST_ROW, PIM_OP_MODE_ROW, SBMR_ROW, SRF_ROW,
+        enter_ab_sequence, exit_ab_sequence, set_pim_op_mode_sequence, ABMR_ROW, CRF_ROW, GRF_ROW,
+        PIM_CONF_FIRST_ROW, PIM_OP_MODE_ROW, SBMR_ROW, SRF_ROW,
     };
 }
 

@@ -171,10 +171,7 @@ mod tests {
     #[test]
     fn program_load_and_padding() {
         let mut crf = Crf::new();
-        let prog = vec![
-            Instruction::Nop { cycles: 1 },
-            Instruction::Jump { target: 0, count: 4 },
-        ];
+        let prog = vec![Instruction::Nop { cycles: 1 }, Instruction::Jump { target: 0, count: 4 }];
         crf.load_program(&prog);
         assert_eq!(crf.fetch(0), prog[0]);
         assert_eq!(crf.fetch(1), prog[1]);

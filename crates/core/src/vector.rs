@@ -1,7 +1,7 @@
 //! The 256-bit datapath word: 16 FP16 lanes.
 
-use pim_fp16::F16;
 use pim_dram::{DataBlock, DATA_BLOCK_BYTES};
+use pim_fp16::F16;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 

@@ -21,9 +21,8 @@ enum Op {
 /// Addresses below the PIM_CONF rows (ordinary data space).
 fn data_addr() -> impl Strategy<Value = u64> {
     let m = AddressMapping::new(16);
-    (0u32..64, 0u8..4, 0u8..4, 0u32..8).prop_map(move |(row, bg, ba, col)| {
-        m.block_addr(0, BankAddr::new(bg, ba), row, col * 4)
-    })
+    (0u32..64, 0u8..4, 0u8..4, 0u32..8)
+        .prop_map(move |(row, bg, ba, col)| m.block_addr(0, BankAddr::new(bg, ba), row, col * 4))
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {

@@ -55,6 +55,8 @@ pub struct Bank {
     pub(crate) next_pre: Cycle,
     /// Cycle of the most recent ACT, for tRAS accounting.
     pub(crate) last_act: Cycle,
+    /// Cycles accumulated with a row open, over all closed open-intervals.
+    open_cycles: u64,
 }
 
 impl Default for Bank {
@@ -73,6 +75,7 @@ impl Bank {
             next_col: 0,
             next_pre: 0,
             last_act: 0,
+            open_cycles: 0,
         }
     }
 
@@ -104,6 +107,9 @@ impl Bank {
 
     /// Records a PRE at `cycle`.
     pub(crate) fn do_precharge(&mut self, cycle: Cycle, t: &crate::TimingParams) {
+        if self.state != BankState::Closed {
+            self.open_cycles += cycle.saturating_sub(self.last_act);
+        }
         self.state = BankState::Closed;
         self.next_act = self.next_act.max(cycle + t.t_rp);
     }
@@ -145,10 +151,8 @@ impl Bank {
     pub fn write_block(&mut self, col: u32, data: &DataBlock) {
         let row = self.open_row().expect("write with no open row");
         assert!(col < COLS_PER_ROW, "column {col} out of range");
-        let storage = self
-            .rows
-            .entry(row)
-            .or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
+        let storage =
+            self.rows.entry(row).or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
         let off = col as usize * DATA_BLOCK_BYTES;
         storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(data);
     }
@@ -169,10 +173,8 @@ impl Bank {
     /// Direct backdoor write (see [`Bank::peek_block`]).
     pub fn poke_block(&mut self, row: u32, col: u32, data: &DataBlock) {
         assert!(row < ROWS_PER_BANK && col < COLS_PER_ROW);
-        let storage = self
-            .rows
-            .entry(row)
-            .or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
+        let storage =
+            self.rows.entry(row).or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
         let off = col as usize * DATA_BLOCK_BYTES;
         storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(data);
     }
@@ -180,6 +182,20 @@ impl Bank {
     /// Number of rows that have been materialized (written at least once).
     pub fn touched_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Cycles this bank has spent with a row open, up to `now`: completed
+    /// open-intervals plus the in-progress one if a row is open.
+    ///
+    /// Row-state residency is the denominator-side of the paper's
+    /// row-buffer analysis: open time is when column traffic can flow,
+    /// closed time is precharge/idle overhead.
+    pub fn open_cycles(&self, now: Cycle) -> u64 {
+        let in_progress = match self.state {
+            BankState::Open(_) => now.saturating_sub(self.last_act),
+            BankState::Closed => 0,
+        };
+        self.open_cycles + in_progress
     }
 }
 
@@ -253,6 +269,21 @@ mod tests {
         let mut bank = Bank::new();
         bank.do_activate(0, 0, &t);
         bank.read_block(COLS_PER_ROW);
+    }
+
+    #[test]
+    fn open_cycles_accumulate_across_intervals() {
+        let t = TimingParams::hbm2();
+        let mut bank = Bank::new();
+        assert_eq!(bank.open_cycles(100), 0);
+        bank.do_activate(0, 100, &t);
+        // In-progress interval counts.
+        assert_eq!(bank.open_cycles(150), 50);
+        bank.do_precharge(160, &t);
+        assert_eq!(bank.open_cycles(300), 60);
+        bank.do_activate(1, 400, &t);
+        bank.do_precharge(450, &t);
+        assert_eq!(bank.open_cycles(500), 110);
     }
 
     #[test]

@@ -170,6 +170,15 @@ impl PseudoChannel {
         self.banks.iter().all(|b| b.open_row().is_none())
     }
 
+    /// Bank-state residency up to `now`: total cycles banks spent with a
+    /// row open and total cycles spent precharged, summed across the 16
+    /// banks (so the two numbers add up to `16 * now`).
+    pub fn bank_residency(&self, now: Cycle) -> (u64, u64) {
+        let open: u64 = self.banks.iter().map(|b| b.open_cycles(now)).sum();
+        let total = crate::BANKS_PER_PCH as u64 * now;
+        (open, total.saturating_sub(open))
+    }
+
     /// All-bank activate: functionally opens `row` in every bank at once.
     ///
     /// This is the PIM device's AB-mode row operation (Section III-B: "the
@@ -264,10 +273,9 @@ impl CommandSink for PseudoChannel {
             Command::Rd { bank, .. } => self.earliest_col(*bank, true, now),
             Command::Wr { bank, .. } => self.earliest_col(*bank, false, now),
             Command::Pre { bank } => self.earliest_pre(*bank, now),
-            Command::PreAll => BankAddr::all()
-                .map(|b| self.earliest_pre(b, now))
-                .max()
-                .unwrap_or(now),
+            Command::PreAll => {
+                BankAddr::all().map(|b| self.earliest_pre(b, now)).max().unwrap_or(now)
+            }
             Command::Ref => self.earliest_ref(now),
         }
     }
@@ -383,10 +391,7 @@ mod tests {
         ch.issue(&act(0, 0, 3), 0).unwrap();
         let e = ch.earliest_issue(&rd(0, 0, 0), 0);
         assert_eq!(e, t.t_rcd);
-        assert!(matches!(
-            ch.issue(&rd(0, 0, 0), t.t_rcd - 1),
-            Err(IssueError::TooEarly { .. })
-        ));
+        assert!(matches!(ch.issue(&rd(0, 0, 0), t.t_rcd - 1), Err(IssueError::TooEarly { .. })));
         let out = ch.issue(&rd(0, 0, 0), t.t_rcd).unwrap();
         assert_eq!(out.data_at, Some(t.t_rcd + t.t_cl + t.t_bl));
     }
@@ -455,12 +460,9 @@ mod tests {
         let mut ch = PseudoChannel::new(t.clone());
         ch.issue(&act(0, 0, 0), 0).unwrap();
         ch.issue(&act(1, 0, 0), t.t_rrd_s).unwrap();
-        let wr_at = ch.earliest_issue(
-            &Command::Wr { bank: BankAddr::new(0, 0), col: 0, data: [0; 32] },
-            100,
-        );
-        ch.issue(&Command::Wr { bank: BankAddr::new(0, 0), col: 0, data: [0; 32] }, wr_at)
-            .unwrap();
+        let wr_at = ch
+            .earliest_issue(&Command::Wr { bank: BankAddr::new(0, 0), col: 0, data: [0; 32] }, 100);
+        ch.issue(&Command::Wr { bank: BankAddr::new(0, 0), col: 0, data: [0; 32] }, wr_at).unwrap();
         let e = ch.earliest_issue(&rd(1, 0, 0), wr_at);
         assert_eq!(e, wr_at + t.t_wl + t.t_bl + t.t_wtr);
     }
@@ -472,8 +474,7 @@ mod tests {
         ch.issue(&act(0, 0, 0), 0).unwrap();
         assert_eq!(ch.earliest_issue(&Command::Pre { bank: BankAddr::new(0, 0) }, 0), t.t_ras);
         let wr_at = t.t_rcd;
-        ch.issue(&Command::Wr { bank: BankAddr::new(0, 0), col: 0, data: [0; 32] }, wr_at)
-            .unwrap();
+        ch.issue(&Command::Wr { bank: BankAddr::new(0, 0), col: 0, data: [0; 32] }, wr_at).unwrap();
         let e = ch.earliest_issue(&Command::Pre { bank: BankAddr::new(0, 0) }, 0);
         assert_eq!(e, wr_at + t.t_wl + t.t_bl + t.t_wr);
     }

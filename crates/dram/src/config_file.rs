@@ -71,10 +71,7 @@ pub fn parse_timing(source: &str) -> Result<TimingParams, ConfigError> {
             continue;
         }
         let Some((key, value)) = text.split_once('=') else {
-            return Err(ConfigError {
-                line,
-                message: format!("expected KEY=value, got `{text}`"),
-            });
+            return Err(ConfigError { line, message: format!("expected KEY=value, got `{text}`") });
         };
         let key = key.trim().to_ascii_uppercase();
         let value = value.trim().to_string();

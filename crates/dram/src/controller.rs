@@ -23,6 +23,7 @@ use crate::mapping::AddressMapping;
 use crate::request::{CompletedRequest, Request, RequestKind};
 use crate::stats::ControllerStats;
 use crate::timing::{Cycle, TimingParams};
+use pim_obs::{names, Event, Recorder, Scope};
 use std::collections::VecDeque;
 
 /// Request scheduling policy.
@@ -120,6 +121,16 @@ pub struct MemoryController<S: CommandSink = PseudoChannel> {
     next_seq: u64,
     next_refresh: Cycle,
     stats: ControllerStats,
+    /// Observability hook; `None` (the default) costs one pointer test per
+    /// instrumented site.
+    recorder: Option<Recorder>,
+    /// System-level channel index reported in event scopes. The controller
+    /// itself does not know which channel of the system it serves, so this
+    /// is set alongside the recorder.
+    channel_id: u16,
+    /// Last row each bank activated on the raw (PIM) path, for row-outcome
+    /// classification of command streams that bypass the request queue.
+    raw_last_row: [Option<u32>; crate::BANKS_PER_PCH],
 }
 
 impl MemoryController<PseudoChannel> {
@@ -142,7 +153,29 @@ impl<S: CommandSink> MemoryController<S> {
             next_seq: 0,
             next_refresh,
             stats: ControllerStats::default(),
+            recorder: None,
+            channel_id: 0,
+            raw_last_row: [None; crate::BANKS_PER_PCH],
         }
+    }
+
+    /// Attaches an observability recorder. `channel_id` is the system-level
+    /// channel index stamped into event scopes (a standalone controller is
+    /// channel 0).
+    pub fn set_recorder(&mut self, recorder: Recorder, channel_id: u16) {
+        self.recorder = Some(recorder);
+        self.channel_id = channel_id;
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// The system-level channel index stamped into event scopes (0 unless
+    /// set by [`MemoryController::set_recorder`]).
+    pub fn channel_id(&self) -> u16 {
+        self.channel_id
     }
 
     /// The sink (channel / PIM device) behind this controller.
@@ -192,7 +225,41 @@ impl<S: CommandSink> MemoryController<S> {
             conflicted: false,
             missed: false,
         });
+        if let Some(r) = &self.recorder {
+            r.observe(names::CTRL_QUEUE_DEPTH, names::QUEUE_DEPTH_BUCKETS, self.queue.len() as u64);
+        }
         seq
+    }
+
+    /// Static mnemonic for a command, used as event name.
+    fn command_name(cmd: &Command) -> &'static str {
+        match cmd {
+            Command::Act { .. } => "ACT",
+            Command::Rd { .. } => "RD",
+            Command::Wr { .. } => "WR",
+            Command::Pre { .. } => "PRE",
+            Command::PreAll => "PREA",
+            Command::Ref => "REF",
+        }
+    }
+
+    /// Emits a command instant event (no-op without a recorder).
+    fn emit_command(&self, cmd: &Command, at: Cycle) {
+        let Some(r) = &self.recorder else { return };
+        let scope = match cmd {
+            Command::Act { bank, .. }
+            | Command::Rd { bank, .. }
+            | Command::Wr { bank, .. }
+            | Command::Pre { bank } => Scope::bank(self.channel_id, bank.flat_index() as u16),
+            Command::PreAll | Command::Ref => Scope::channel(self.channel_id),
+        };
+        let ev = Event::instant(at, Self::command_name(cmd), names::CAT_COMMAND, scope);
+        let ev = match cmd {
+            Command::Act { row, .. } => ev.with_arg("row", *row as u64),
+            Command::Rd { col, .. } | Command::Wr { col, .. } => ev.with_arg("col", *col as u64),
+            _ => ev,
+        };
+        r.emit(ev);
     }
 
     /// What the given pending request needs next.
@@ -210,10 +277,7 @@ impl<S: CommandSink> MemoryController<S> {
         let open = self.sink.open_row(bank);
         match open {
             None => false,
-            Some(row) => self
-                .queue
-                .iter()
-                .any(|p| p.bank == bank && p.row == row),
+            Some(row) => self.queue.iter().any(|p| p.bank == bank && p.row == row),
         }
     }
 
@@ -240,9 +304,11 @@ impl<S: CommandSink> MemoryController<S> {
         let pre = Command::PreAll;
         let at = self.sink.earliest_issue(&pre, self.now);
         self.sink.issue(&pre, at).expect("PREA for refresh failed");
+        self.emit_command(&pre, at);
         let rf = Command::Ref;
         let at = self.sink.earliest_issue(&rf, at);
         self.sink.issue(&rf, at).expect("REF failed");
+        self.emit_command(&rf, at);
         self.now = at;
         self.next_refresh += self.config.timing.t_refi;
     }
@@ -261,6 +327,7 @@ impl<S: CommandSink> MemoryController<S> {
                 .issue(&cmd, at)
                 .unwrap_or_else(|e| panic!("scheduler issued illegal command {cmd}: {e}"));
             self.now = at;
+            self.emit_command(&cmd, at);
             match step {
                 NextStep::Pre => {
                     self.queue[idx].conflicted = true;
@@ -287,12 +354,35 @@ impl<S: CommandSink> MemoryController<S> {
                     } else {
                         self.stats.row_hits += 1;
                     }
-                    if self.queue.iter().any(|q| q.req.seq < p.req.seq) {
+                    let reordered = self.queue.iter().any(|q| q.req.seq < p.req.seq);
+                    if reordered {
                         self.stats.reordered += 1;
                     }
                     let completed_at = outcome.data_at.expect("column command carries data time");
                     self.stats.completed += 1;
                     self.stats.last_completion = completed_at;
+                    debug_assert_eq!(
+                        self.stats.total_requests(),
+                        self.stats.completed,
+                        "every completed request must be classified as exactly one of \
+                         hit/miss/conflict"
+                    );
+                    if let Some(r) = &self.recorder {
+                        r.add(
+                            if p.conflicted {
+                                names::CTRL_ROW_CONFLICT
+                            } else if p.missed {
+                                names::CTRL_ROW_MISS
+                            } else {
+                                names::CTRL_ROW_HIT
+                            },
+                            1,
+                        );
+                        r.add(names::CTRL_COMPLETED, 1);
+                        if reordered {
+                            r.add(names::CTRL_REORDERED, 1);
+                        }
+                    }
                     return Some(CompletedRequest {
                         seq: p.req.seq,
                         addr: p.req.addr,
@@ -368,12 +458,39 @@ impl<S: CommandSink> MemoryController<S> {
         assert!(self.queue.is_empty(), "raw issue with queued requests would interleave");
         for cmd in commands {
             let at = self.sink.earliest_issue(cmd, self.now);
-            self.sink
-                .issue(cmd, at)
-                .unwrap_or_else(|e| panic!("raw command {cmd} illegal: {e}"));
+            self.sink.issue(cmd, at).unwrap_or_else(|e| panic!("raw command {cmd} illegal: {e}"));
             self.now = at;
+            if self.recorder.is_some() {
+                self.emit_command(cmd, at);
+                self.classify_raw(cmd);
+            }
         }
         self.now
+    }
+
+    /// Row-outcome accounting for the raw (PIM) path, which bypasses the
+    /// request queue and so never reaches the [`ControllerStats`] update in
+    /// [`MemoryController::drain_one`]. An ACT re-opening a bank on a
+    /// different row than last time is a conflict-shaped access (the
+    /// previous row's locality was lost); a first-time or same-row ACT is a
+    /// miss; every column command lands on the open row by construction and
+    /// counts as a hit. Metrics-only: `ControllerStats` stays a
+    /// queued-request measure.
+    fn classify_raw(&mut self, cmd: &Command) {
+        let r = self.recorder.as_ref().expect("caller checked recorder");
+        r.add(names::CTRL_RAW_COMMANDS, 1);
+        match cmd {
+            Command::Act { bank, row } => {
+                let slot = &mut self.raw_last_row[bank.flat_index()];
+                match *slot {
+                    Some(prev) if prev != *row => r.add(names::CTRL_ROW_CONFLICT, 1),
+                    _ => r.add(names::CTRL_ROW_MISS, 1),
+                }
+                *slot = Some(*row);
+            }
+            Command::Rd { .. } | Command::Wr { .. } => r.add(names::CTRL_ROW_HIT, 1),
+            Command::Pre { .. } | Command::PreAll | Command::Ref => {}
+        }
     }
 
     /// Advances local time without issuing commands (models host-side gaps
@@ -469,15 +586,16 @@ mod tests {
         // Serialized would be ~4 × (tRCD + tCL + tBL); overlapped should be
         // roughly tRRD_S*3 + tRCD + tCL + tBL plus small slack.
         let serialized = 4 * (t.t_rcd + t.t_cl + t.t_bl);
-        assert!(last < serialized, "last completion {last} not overlapped (serialized {serialized})");
+        assert!(
+            last < serialized,
+            "last completion {last} not overlapped (serialized {serialized})"
+        );
     }
 
     #[test]
     fn refresh_is_injected_when_enabled() {
-        let mut c = MemoryController::new(ControllerConfig {
-            refresh_enabled: true,
-            ..Default::default()
-        });
+        let mut c =
+            MemoryController::new(ControllerConfig { refresh_enabled: true, ..Default::default() });
         // Jump past tREFI and touch the channel.
         let t = c.config.timing.clone();
         c.advance_to(t.t_refi + 1);
@@ -569,6 +687,50 @@ mod tests {
         assert_eq!(c.stats().row_hits, 1, "second request hits before auto-precharge");
         // And after draining, the bank is closed.
         assert_eq!(c.sink().open_row(bank), None);
+    }
+
+    #[test]
+    fn recorder_counters_match_stats() {
+        let mut c = MemoryController::new(cfg(SchedulingPolicy::InOrder));
+        c.set_recorder(Recorder::vec(), 0);
+        let bank = BankAddr::new(1, 1);
+        c.enqueue(Request::read(addr_at(0, bank, 0))); // miss
+        c.enqueue(Request::read(addr_at(0, bank, 1))); // hit
+        c.enqueue(Request::read(addr_at(2, bank, 0))); // conflict
+        c.run_to_completion();
+        let r = c.recorder().unwrap();
+        let m = r.metrics().registry;
+        assert_eq!(m.counter(names::CTRL_ROW_MISS), c.stats().row_misses);
+        assert_eq!(m.counter(names::CTRL_ROW_HIT), c.stats().row_hits);
+        assert_eq!(m.counter(names::CTRL_ROW_CONFLICT), c.stats().row_conflicts);
+        assert_eq!(m.counter(names::CTRL_COMPLETED), 3);
+        assert_eq!(m.histogram(names::CTRL_QUEUE_DEPTH).unwrap().count(), 3);
+        let events = r.events().unwrap();
+        assert!(events.iter().any(|e| e.name == "ACT"));
+        assert!(events.iter().any(|e| e.name == "RD"));
+        assert_eq!(c.stats().total_requests(), c.stats().completed);
+    }
+
+    #[test]
+    fn raw_path_classifies_rows_into_metrics_only() {
+        let mut c = MemoryController::new(cfg(SchedulingPolicy::FrFcfs));
+        c.set_recorder(Recorder::vec(), 2);
+        let bank = BankAddr::new(0, 0);
+        c.issue_raw(&[
+            Command::Act { bank, row: 5 },               // miss (first open)
+            Command::Wr { bank, col: 0, data: [1; 32] }, // hit
+            Command::Rd { bank, col: 0 },                // hit
+            Command::Pre { bank },
+            Command::Act { bank, row: 6 }, // conflict (row changed)
+        ]);
+        let m = c.recorder().unwrap().metrics().registry;
+        assert_eq!(m.counter(names::CTRL_RAW_COMMANDS), 5);
+        assert_eq!(m.counter(names::CTRL_ROW_MISS), 1);
+        assert_eq!(m.counter(names::CTRL_ROW_HIT), 2);
+        assert_eq!(m.counter(names::CTRL_ROW_CONFLICT), 1);
+        // ControllerStats stays a queued-request measure.
+        assert_eq!(c.stats().completed, 0);
+        assert_eq!(c.stats().total_requests(), 0);
     }
 
     #[test]

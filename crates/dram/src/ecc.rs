@@ -197,8 +197,7 @@ mod tests {
             assert_eq!(decode(corrupted), EccResult::Uncorrectable, "bits {a},{b}");
         }
         for (a, b) in [(0u32, 3u8), (60, 6)] {
-            let corrupted =
-                EccWord { data: w.data ^ (1u64 << a), check: w.check ^ (1 << b) };
+            let corrupted = EccWord { data: w.data ^ (1u64 << a), check: w.check ^ (1 << b) };
             assert_eq!(decode(corrupted), EccResult::Uncorrectable, "data {a} check {b}");
         }
     }

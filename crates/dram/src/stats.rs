@@ -57,9 +57,18 @@ pub struct ControllerStats {
 }
 
 impl ControllerStats {
+    /// Total requests classified by row outcome: hits + misses + conflicts.
+    ///
+    /// The controller classifies every completed request exactly once, so
+    /// this equals [`ControllerStats::completed`]; the controller debug-
+    /// asserts that invariant at each stats update.
+    pub fn total_requests(&self) -> u64 {
+        self.row_hits + self.row_misses + self.row_conflicts
+    }
+
     /// Row-buffer hit rate over all completed requests.
     pub fn row_hit_rate(&self) -> f64 {
-        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        let total = self.total_requests();
         if total == 0 {
             0.0
         } else {

@@ -76,6 +76,20 @@ impl<S: CommandSink> TracingSink<S> {
         self.trace.iter()
     }
 
+    /// The recorded entries, oldest first (alias of [`TracingSink::trace`]
+    /// with a concrete iterator type; also available via `&sink` in a
+    /// `for` loop).
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, TraceEntry> {
+        self.trace.iter()
+    }
+
+    /// `true` if no entries were evicted — the trace covers every command
+    /// the sink saw. Check this (or [`TracingSink::dropped`]) before
+    /// treating the trace as the full command history.
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
     /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.trace.len()
@@ -112,6 +126,18 @@ impl<S: CommandSink> TracingSink<S> {
                 e.command
             );
         }
+        // Completeness footer, always present: a truncated trace must never
+        // be mistaken for the full command history.
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "=== trace truncated: {} retained, {} dropped ===",
+                self.trace.len(),
+                self.dropped
+            );
+        } else {
+            let _ = writeln!(out, "=== trace complete: {} commands ===", self.trace.len());
+        }
         out
     }
 
@@ -121,6 +147,15 @@ impl<S: CommandSink> TracingSink<S> {
             self.dropped += 1;
         }
         self.trace.push_back(TraceEntry { cycle, command: command.clone(), accepted });
+    }
+}
+
+impl<'a, S: CommandSink> IntoIterator for &'a TracingSink<S> {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::collections::vec_deque::Iter<'a, TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -181,9 +216,36 @@ mod tests {
         }
         assert_eq!(t.len(), 4);
         assert_eq!(t.dropped(), 2);
+        assert!(!t.is_complete());
         // The ACT was evicted; first retained entry is a RD.
         assert!(matches!(t.trace().next().unwrap().command, Command::Rd { .. }));
-        assert!(t.render().contains("dropped"));
+        let log = t.render();
+        assert!(log.contains("dropped"));
+        assert!(log.contains("truncated: 4 retained, 2 dropped"));
+    }
+
+    #[test]
+    fn render_footer_marks_complete_traces() {
+        let mut t = traced();
+        t.issue(&Command::Act { bank: BankAddr::new(0, 0), row: 0 }, 0).unwrap();
+        assert!(t.is_complete());
+        let log = t.render();
+        assert!(log.contains("trace complete: 1 commands"));
+        assert!(!log.contains("truncated"));
+    }
+
+    #[test]
+    fn iterates_by_reference() {
+        let mut t = traced();
+        let bank = BankAddr::new(0, 0);
+        t.issue(&Command::Act { bank, row: 2 }, 0).unwrap();
+        let mut seen = 0;
+        for e in &t {
+            assert!(e.accepted);
+            seen += 1;
+        }
+        assert_eq!(seen, 1);
+        assert_eq!(t.iter().count(), 1);
     }
 
     #[test]

@@ -113,7 +113,12 @@ impl EnergyParams {
     /// feeding `units` PIM units (pJ). `buffer_io_gated` models the
     /// paper's "feature eliminating unnecessary power consumption by the
     /// buffer die's 1024-bit data I/O circuit".
-    pub fn abpim_column_pj(&self, operating_banks: usize, units: usize, buffer_io_gated: bool) -> f64 {
+    pub fn abpim_column_pj(
+        &self,
+        operating_banks: usize,
+        units: usize,
+        buffer_io_gated: bool,
+    ) -> f64 {
         let array = (self.col_cell_pj + self.col_iosa_pj) * operating_banks as f64;
         let buffer = if buffer_io_gated { 0.0 } else { self.col_buffer_io_pj };
         array + buffer + self.pim_instr_pj * units as f64
@@ -146,11 +151,7 @@ impl EnergyParams {
                     iosa_decoder: to_w(self.col_iosa_pj * operating_banks as f64),
                     global_io: 0.0,
                     io_phy: 0.0,
-                    buffer_die_io: if buffer_io_gated {
-                        0.0
-                    } else {
-                        to_w(self.col_buffer_io_pj)
-                    },
+                    buffer_die_io: if buffer_io_gated { 0.0 } else { to_w(self.col_buffer_io_pj) },
                     pim_unit: to_w(self.pim_instr_pj * units as f64),
                 }
             }
@@ -223,7 +224,11 @@ pub struct MemoryEnergyBreakdown {
 impl MemoryEnergyBreakdown {
     /// Total watts.
     pub fn total(&self) -> f64 {
-        self.cell + self.iosa_decoder + self.global_io + self.io_phy + self.buffer_die_io
+        self.cell
+            + self.iosa_decoder
+            + self.global_io
+            + self.io_phy
+            + self.buffer_die_io
             + self.pim_unit
     }
 

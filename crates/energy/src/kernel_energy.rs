@@ -48,16 +48,14 @@ impl KernelEnergy {
     /// Computes the energy of a run from its activity counts.
     pub fn from_activity(p: &EnergyParams, a: &KernelActivity) -> KernelEnergy {
         let pj = 1e-12;
-        let activation =
-            (a.sb_acts as f64 + a.ab_acts as f64 * 16.0) * p.act_bank_pj * pj;
+        let activation = (a.sb_acts as f64 + a.ab_acts as f64 * 16.0) * p.act_bank_pj * pj;
         // SB columns touch one bank; AB-PIM columns touch however many
         // banks the units actually consumed (recorded, not assumed).
         let array_accesses = a.sb_columns + a.pim_bank_accesses;
         let array = array_accesses as f64 * (p.col_cell_pj + p.col_iosa_pj) * pj;
-        let transport = a.sb_columns as f64
-            * (p.col_global_io_pj + p.col_io_phy_pj + p.col_buffer_io_pj)
-            * pj
-            + a.ab_columns as f64 * p.col_buffer_io_pj * pj;
+        let transport =
+            a.sb_columns as f64 * (p.col_global_io_pj + p.col_io_phy_pj + p.col_buffer_io_pj) * pj
+                + a.ab_columns as f64 * p.col_buffer_io_pj * pj;
         let pim_units = a.pim_triggers as f64 * p.pim_instr_pj * pj;
         // One channel's share of the device's static draw (16 pCH/device).
         let static_j = p.device_static_w / 16.0 * a.seconds;
@@ -148,14 +146,10 @@ mod tests {
     #[test]
     fn all_bank_acts_cost_16_banks() {
         let p = params();
-        let one_sb = KernelEnergy::from_activity(
-            &p,
-            &KernelActivity { sb_acts: 16, ..Default::default() },
-        );
-        let one_ab = KernelEnergy::from_activity(
-            &p,
-            &KernelActivity { ab_acts: 1, ..Default::default() },
-        );
+        let one_sb =
+            KernelEnergy::from_activity(&p, &KernelActivity { sb_acts: 16, ..Default::default() });
+        let one_ab =
+            KernelEnergy::from_activity(&p, &KernelActivity { ab_acts: 1, ..Default::default() });
         assert!((one_sb.activation_j - one_ab.activation_j).abs() < 1e-18);
     }
 

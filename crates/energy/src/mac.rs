@@ -43,10 +43,7 @@ pub fn table1() -> Vec<MacUnitModel> {
 
 /// Looks up a format's row.
 pub fn for_format(format: NumberFormat) -> MacUnitModel {
-    table1()
-        .into_iter()
-        .find(|m| m.format == format)
-        .expect("every format has a Table I row")
+    table1().into_iter().find(|m| m.format == format).expect("every format has a Table I row")
 }
 
 #[cfg(test)]

@@ -137,8 +137,7 @@ mod tests {
         let m = SystemPowerModel::paper();
         assert!(m.host_power_w(HostPowerState::Idle) < m.host_power_w(HostPowerState::DrivingPim));
         assert!(
-            m.host_power_w(HostPowerState::DrivingPim)
-                <= m.host_power_w(HostPowerState::Streaming)
+            m.host_power_w(HostPowerState::DrivingPim) <= m.host_power_w(HostPowerState::Streaming)
         );
         assert!(
             m.host_power_w(HostPowerState::Streaming) < m.host_power_w(HostPowerState::Compute)
@@ -179,8 +178,7 @@ mod tests {
         // During HBM GEMV: host streams (poorly), memory partially used.
         let m = SystemPowerModel::paper();
         let p_pim = m.system_power_w(HostPowerState::DrivingPim, m.memory_pim_power_w(0.9));
-        let p_hbm =
-            m.system_power_w(HostPowerState::Streaming, m.memory_stream_power_w(0.24, 4));
+        let p_hbm = m.system_power_w(HostPowerState::Streaming, m.memory_stream_power_w(0.24, 4));
         // Fig. 12 implies P_pim/P_hbm ≈ 11.2/8.25 ≈ 1.36 — but PIM power is
         // also lower per Fig. 13 for apps; for the GEMV micro the paper's
         // bars put PIM's *power* slightly below HBM's and the efficiency

@@ -29,7 +29,13 @@ impl PowerTrace {
     }
 
     /// Appends a phase.
-    pub fn push(&mut self, label: impl Into<String>, seconds: f64, host: HostPowerState, memory_w: f64) {
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        seconds: f64,
+        host: HostPowerState,
+        memory_w: f64,
+    ) {
         assert!(seconds >= 0.0, "negative phase duration");
         self.phases.push(PowerPhase { label: label.into(), seconds, host, memory_w });
     }
@@ -46,10 +52,7 @@ impl PowerTrace {
 
     /// Total energy in joules under `model`.
     pub fn total_energy_j(&self, model: &SystemPowerModel) -> f64 {
-        self.phases
-            .iter()
-            .map(|p| model.phase_energy_j(p.host, p.memory_w, p.seconds))
-            .sum()
+        self.phases.iter().map(|p| model.phase_energy_j(p.host, p.memory_w, p.seconds)).sum()
     }
 
     /// Time-averaged system power in watts.

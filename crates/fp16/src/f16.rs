@@ -463,6 +463,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // arbitrary grid points, not uses of PI/E
     fn arithmetic_matches_f32_reference() {
         // Exhaustive-ish grid of interesting operands.
         let vals = [
@@ -521,10 +522,8 @@ mod tests {
 
     #[test]
     fn ordering_is_consistent() {
-        let mut v: Vec<F16> = [-3.0f32, -0.5, 0.0, 0.25, 1.0, 1000.0]
-            .iter()
-            .map(|&x| F16::from_f32(x))
-            .collect();
+        let mut v: Vec<F16> =
+            [-3.0f32, -0.5, 0.0, 0.25, 1.0, 1000.0].iter().map(|&x| F16::from_f32(x)).collect();
         let sorted = v.clone();
         v.reverse();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -141,7 +141,14 @@ pub fn dot_product_errors(a: &[f32], b: &[f32]) -> DotErrors {
     let (int16_err, int16_sat) = int_err(16, IntMac::int16_acc48());
     let (int8_err, int8_sat) = int_err(8, IntMac::int8_acc32());
 
-    DotErrors { reference, fp16_err, int16_err, int8_err, int16_saturations: int16_sat, int8_saturations: int8_sat }
+    DotErrors {
+        reference,
+        fp16_err,
+        int16_err,
+        int8_err,
+        int16_saturations: int16_sat,
+        int8_saturations: int8_sat,
+    }
 }
 
 /// The result of [`dot_product_errors`].

@@ -36,16 +36,8 @@ pub fn f16_slice_to_f32(src: &[F16]) -> Vec<f32> {
 ///
 /// Panics if the slices have different lengths.
 pub fn max_abs_error(result: &[F16], reference: &[f32]) -> f32 {
-    assert_eq!(
-        result.len(),
-        reference.len(),
-        "result and reference must have the same length"
-    );
-    result
-        .iter()
-        .zip(reference.iter())
-        .map(|(r, &x)| (r.to_f32() - x).abs())
-        .fold(0.0f32, f32::max)
+    assert_eq!(result.len(), reference.len(), "result and reference must have the same length");
+    result.iter().zip(reference.iter()).map(|(r, &x)| (r.to_f32() - x).abs()).fold(0.0f32, f32::max)
 }
 
 /// Maximum error in binary16 ULPs between a result and the correctly rounded

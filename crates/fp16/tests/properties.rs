@@ -9,15 +9,11 @@ use proptest::prelude::*;
 
 /// An arbitrary finite F16 via a random bit pattern with a non-max exponent.
 fn finite_f16() -> impl Strategy<Value = F16> {
-    any::<u16>()
-        .prop_map(F16::from_bits)
-        .prop_filter("finite", |x| x.is_finite())
+    any::<u16>().prop_map(F16::from_bits).prop_filter("finite", |x| x.is_finite())
 }
 
 fn finite_bf16() -> impl Strategy<Value = Bf16> {
-    any::<u16>()
-        .prop_map(Bf16::from_bits)
-        .prop_filter("finite", |x| x.is_finite())
+    any::<u16>().prop_map(Bf16::from_bits).prop_filter("finite", |x| x.is_finite())
 }
 
 proptest! {

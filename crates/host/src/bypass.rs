@@ -108,10 +108,7 @@ pub fn pollution_experiment(
         1.0 - hot_hits as f64 / hot_total as f64
     };
 
-    PollutionResult {
-        hot_miss_with_bypass: run(true),
-        hot_miss_without_bypass: run(false),
-    }
+    PollutionResult { hot_miss_with_bypass: run(true), hot_miss_without_bypass: run(false) }
 }
 
 #[cfg(test)]

@@ -22,9 +22,11 @@ use crate::config::HostConfig;
 use crate::system::PimSystem;
 use pim_core::PimChannel;
 use pim_dram::{Command, CommandSink, Cycle, MemoryController};
+use pim_obs::{names, Event, Recorder, Scope};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::borrow::Cow;
 
 /// One group of DRAM commands for a single channel, optionally followed by
 /// a fence.
@@ -41,26 +43,43 @@ pub struct Batch {
     /// Whether the host issues a barrier after this batch (Section IV-C:
     /// the fence bounding the controller's reordering to the AAM window).
     pub fence_after: bool,
+    /// Optional name for profiling spans (the executor stamps its phase
+    /// here: `enter_ab`, `crf`, `pim_on`, ...).
+    pub label: Option<&'static str>,
 }
 
 impl Batch {
     /// A fenced batch of order-tolerant trigger commands — the common shape
     /// of a PIM kernel's data phase (e.g. 8 AAM MACs).
     pub fn commutative(commands: Vec<Command>) -> Batch {
-        Batch { commands, commutative: true, fence_after: true }
+        Batch { commands, commutative: true, fence_after: true, label: None }
     }
 
     /// A fenced batch whose internal order matters (e.g. the single WR that
     /// streams operands into the SRF before a group of MACs).
     pub fn fenced_ordered(commands: Vec<Command>) -> Batch {
-        Batch { commands, commutative: false, fence_after: true }
+        Batch { commands, commutative: false, fence_after: true, label: None }
     }
 
     /// An unfenced, ordered batch: row management (ACT/PRE) and mode
     /// setup, whose ordering the DRAM controller already guarantees via
     /// bank-state dependencies.
     pub fn setup(commands: Vec<Command>) -> Batch {
-        Batch { commands, commutative: false, fence_after: false }
+        Batch { commands, commutative: false, fence_after: false, label: None }
+    }
+
+    /// Names this batch for profiling spans.
+    pub fn with_label(mut self, label: &'static str) -> Batch {
+        self.label = Some(label);
+        self
+    }
+
+    /// The span name: the label if set, else `batch<index>`.
+    fn span_name(&self, index: usize) -> Cow<'static, str> {
+        match self.label {
+            Some(l) => Cow::Borrowed(l),
+            None => Cow::Owned(format!("batch{index}")),
+        }
     }
 }
 
@@ -120,6 +139,8 @@ impl KernelEngine {
         mode: ExecutionMode,
     ) -> KernelResult {
         let t = ctrl.sink().timing().clone();
+        let rec: Option<Recorder> = ctrl.recorder().cloned();
+        let scope = Scope::channel(ctrl.channel_id());
         let mut commands = 0u64;
         let mut fences = 0u64;
         let mut order_buf: Vec<Command> = Vec::new();
@@ -150,12 +171,36 @@ impl KernelEngine {
                     order_buf[slot] = cmd;
                 }
                 commands += order_buf.len() as u64;
-                ctrl.issue_raw(&order_buf);
+                if let Some(r) = &rec {
+                    r.begin(ctrl.now(), "unfenced_stream", names::CAT_BATCH, scope);
+                    r.add(names::ENGINE_BATCHES, 1);
+                    r.observe(
+                        names::ENGINE_BATCH_LEN,
+                        names::BATCH_LEN_BUCKETS,
+                        order_buf.len() as u64,
+                    );
+                }
+                let last = ctrl.issue_raw(&order_buf);
+                if let Some(r) = &rec {
+                    r.end(last, "unfenced_stream", names::CAT_BATCH, scope);
+                }
             }
             ExecutionMode::Ordered => {
-                for b in batches {
+                for (bi, b) in batches.iter().enumerate() {
                     commands += b.commands.len() as u64;
-                    ctrl.issue_raw(&b.commands);
+                    if let Some(r) = &rec {
+                        r.begin(ctrl.now(), b.span_name(bi), names::CAT_BATCH, scope);
+                        r.add(names::ENGINE_BATCHES, 1);
+                        r.observe(
+                            names::ENGINE_BATCH_LEN,
+                            names::BATCH_LEN_BUCKETS,
+                            b.commands.len() as u64,
+                        );
+                    }
+                    let last = ctrl.issue_raw(&b.commands);
+                    if let Some(r) = &rec {
+                        r.end(last, b.span_name(bi), names::CAT_BATCH, scope);
+                    }
                 }
             }
             ExecutionMode::Fenced { reorder_seed } => {
@@ -170,13 +215,33 @@ impl KernelEngine {
                         _ => b.commands.clone(),
                     };
                     commands += cmds.len() as u64;
+                    if let Some(r) = &rec {
+                        r.begin(ctrl.now(), b.span_name(bi), names::CAT_BATCH, scope);
+                        r.add(names::ENGINE_BATCHES, 1);
+                        r.observe(
+                            names::ENGINE_BATCH_LEN,
+                            names::BATCH_LEN_BUCKETS,
+                            cmds.len() as u64,
+                        );
+                    }
                     let last = ctrl.issue_raw(&cmds);
+                    if let Some(r) = &rec {
+                        r.end(last, b.span_name(bi), names::CAT_BATCH, scope);
+                    }
                     if b.fence_after {
                         // Fence: drain in-flight data (read latency +
                         // burst) and synchronize the thread group.
                         let drain = last + t.t_cl + t.t_bl + host.fence_sync_overhead_cycles;
                         ctrl.advance_to(drain);
                         fences += 1;
+                        if let Some(r) = &rec {
+                            r.emit(
+                                Event::instant(drain, "fence", names::CAT_BATCH, scope)
+                                    .with_arg("stall_cycles", drain - last),
+                            );
+                            r.add(names::ENGINE_FENCES, 1);
+                            r.add(names::ENGINE_FENCE_STALL_CYCLES, drain - last);
+                        }
                     }
                 }
             }
@@ -223,9 +288,7 @@ mod tests {
         let b = BankAddr::new(0, 0);
         vec![
             Batch::setup(vec![Command::Act { bank: b, row: 1 }]),
-            Batch::commutative(
-                (0..8).map(|c| Command::Rd { bank: b, col: c }).collect(),
-            ),
+            Batch::commutative((0..8).map(|c| Command::Rd { bank: b, col: c }).collect()),
             Batch::setup(vec![Command::Pre { bank: b }]),
         ]
     }
@@ -287,6 +350,45 @@ mod tests {
             ExecutionMode::Fenced { reorder_seed: None },
         );
         assert_eq!(r.end_cycle, s.end_cycle);
+    }
+
+    #[test]
+    fn recorder_observes_fence_stalls_and_batch_spans() {
+        let mut sys = system();
+        let r = Recorder::vec();
+        sys.channel_mut(0).set_recorder(r.clone(), 0);
+        let b = BankAddr::new(0, 0);
+        let batches = vec![
+            Batch::setup(vec![Command::Act { bank: b, row: 1 }]).with_label("act"),
+            Batch::commutative((0..8).map(|c| Command::Rd { bank: b, col: c }).collect()),
+            Batch::setup(vec![Command::Pre { bank: b }]),
+        ];
+        let res = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            sys.channel_mut(0),
+            &batches,
+            ExecutionMode::Fenced { reorder_seed: None },
+        );
+        let m = r.metrics().registry;
+        assert_eq!(m.counter(pim_obs::names::ENGINE_FENCES), res.fences);
+        assert!(m.counter(pim_obs::names::ENGINE_FENCE_STALL_CYCLES) > 0);
+        assert_eq!(m.counter(pim_obs::names::ENGINE_BATCHES), 3);
+        assert_eq!(m.histogram(pim_obs::names::ENGINE_BATCH_LEN).unwrap().count(), 3);
+        let events = r.events().unwrap();
+        assert!(events.iter().any(|e| e.name == "act"), "labelled batch span");
+        assert!(events.iter().any(|e| e.name == "batch2"), "unlabelled fallback name");
+        assert!(events.iter().any(|e| e.name == "fence"));
+        pim_obs::check_nesting(&events).expect("balanced spans");
+
+        // Observer effect must be zero: the same kernel on an uninstrumented
+        // channel lands on the same cycle.
+        let res_plain = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            sys.channel_mut(1),
+            &batches,
+            ExecutionMode::Fenced { reorder_seed: None },
+        );
+        assert_eq!(res.end_cycle, res_plain.end_cycle);
     }
 
     #[test]

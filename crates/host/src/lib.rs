@@ -36,4 +36,6 @@ pub use config::HostConfig;
 pub use engine::{Batch, ExecutionMode, KernelEngine, KernelResult};
 pub use llc::Llc;
 pub use system::PimSystem;
-pub use threads::{coalesced_requests, ThreadGroup, GROUP_ACCESS_BYTES, THREADS_PER_GROUP, THREAD_ACCESS_BYTES};
+pub use threads::{
+    coalesced_requests, ThreadGroup, GROUP_ACCESS_BYTES, THREADS_PER_GROUP, THREAD_ACCESS_BYTES,
+};

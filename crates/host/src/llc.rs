@@ -42,7 +42,10 @@ impl Llc {
     /// `ways × line` sets, or non-power-of-two line size).
     pub fn new(capacity: usize, line: usize, ways: usize) -> Llc {
         assert!(line.is_power_of_two() && line > 0, "line size must be a power of two");
-        assert!(ways > 0 && capacity.is_multiple_of(ways * line), "capacity must be sets*ways*line");
+        assert!(
+            ways > 0 && capacity.is_multiple_of(ways * line),
+            "capacity must be sets*ways*line"
+        );
         let sets = capacity / (ways * line);
         Llc { line, sets, ways, tags: vec![Vec::new(); sets], hits: 0, misses: 0 }
     }

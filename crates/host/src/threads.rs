@@ -58,9 +58,7 @@ impl ThreadGroup {
     pub fn step(&mut self, base: u64) -> Vec<u64> {
         assert_eq!(base % GROUP_ACCESS_BYTES as u64, 0, "group step must be 256-byte aligned");
         self.steps += 1;
-        (0..THREADS_PER_GROUP as u64)
-            .map(|t| base + t * THREAD_ACCESS_BYTES as u64)
-            .collect()
+        (0..THREADS_PER_GROUP as u64).map(|t| base + t * THREAD_ACCESS_BYTES as u64).collect()
     }
 
     /// A barrier: all threads of the group synchronize, ordering their

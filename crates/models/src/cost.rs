@@ -13,8 +13,8 @@
 
 use pim_core::{PimChannel, PimConfig};
 use pim_dram::{
-    AddressMapping, BankAddr, Command, ControllerConfig, Cycle, MemoryController,
-    SchedulingPolicy, TimingParams,
+    AddressMapping, BankAddr, Command, ControllerConfig, Cycle, MemoryController, SchedulingPolicy,
+    TimingParams,
 };
 use pim_host::{llc, ExecutionMode, HostConfig, KernelEngine};
 use pim_runtime::{gemv_microkernel, stream_microkernel, Executor, StreamOp};

@@ -29,6 +29,6 @@ pub mod models;
 pub mod runner;
 
 pub use cost::{CostModel, KernelCost};
-pub use layer::{Layer, LaunchPattern};
+pub use layer::{LaunchPattern, Layer};
 pub use models::{alexnet, deepspeech2, gnmt, resnet50, rnnt, vgg16, Model};
 pub use runner::{LayerTime, ModelRunner, RunReport, SystemKind};

@@ -4,7 +4,7 @@
 //! clips for DS2/RNN-T, ~50-word sentences for GNMT, 224×224×3 images for
 //! the CV models.
 
-use crate::layer::{Layer, LaunchPattern};
+use crate::layer::{LaunchPattern, Layer};
 
 /// An application: a named sequence of layers.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,9 +54,7 @@ impl Model {
             .iter()
             .map(|l| match l {
                 crate::layer::Layer::Lstm { .. } => l.weight_bytes(),
-                crate::layer::Layer::FullyConnected { pim_eligible: true, .. } => {
-                    l.weight_bytes()
-                }
+                crate::layer::Layer::FullyConnected { pim_eligible: true, .. } => l.weight_bytes(),
                 _ => 0,
             })
             .sum();
@@ -332,12 +330,7 @@ mod tests {
         let dec_per_step = g
             .layers
             .iter()
-            .filter(|l| {
-                matches!(
-                    l,
-                    Layer::Lstm { launches: LaunchPattern::PerStep, .. }
-                )
-            })
+            .filter(|l| matches!(l, Layer::Lstm { launches: LaunchPattern::PerStep, .. }))
             .count();
         assert_eq!(dec_per_step, 8, "all 8 decoder layers launch per step");
     }

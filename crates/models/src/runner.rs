@@ -8,7 +8,7 @@
 //! from hard-coded per-figure switches.
 
 use crate::cost::CostModel;
-use crate::layer::{Layer, LaunchPattern};
+use crate::layer::{LaunchPattern, Layer};
 use crate::models::Model;
 use pim_energy::{HostPowerState, PowerTrace, SystemPowerModel};
 use pim_runtime::ops::OpKind;
@@ -123,17 +123,16 @@ impl ModelRunner {
         let mut trace = PowerTrace::new();
         let host_cfg = cost.host.clone();
 
-        let record =
-            |layers: &mut Vec<LayerTime>,
-             trace: &mut PowerTrace,
-             name: &'static str,
-             seconds: f64,
-             on_pim: bool,
-             state: HostPowerState,
-             memory_w: f64| {
-                layers.push(LayerTime { name, seconds, on_pim });
-                trace.push(name, seconds, state, memory_w);
-            };
+        let record = |layers: &mut Vec<LayerTime>,
+                      trace: &mut PowerTrace,
+                      name: &'static str,
+                      seconds: f64,
+                      on_pim: bool,
+                      state: HostPowerState,
+                      memory_w: f64| {
+            layers.push(LayerTime { name, seconds, on_pim });
+            trace.push(name, seconds, state, memory_w);
+        };
 
         // The ×4 system's scaled host I/O & controllers, folded into each
         // phase's memory term (see SystemPowerModel::x4_host_overhead).
@@ -150,21 +149,24 @@ impl ModelRunner {
         for layer in &model.layers {
             match layer {
                 Layer::Conv2d { name, gflops } | Layer::Attention { name, gflops } => {
-                    let t = cost
-                        .host_compute((gflops * 1e9) as u64 * batch as u64, batch)
-                        .seconds
+                    let t = cost.host_compute((gflops * 1e9) as u64 * batch as u64, batch).seconds
                         + cost.launch().seconds;
-                    let mem = power.memory_stream_power_w(0.15, stacks) + x4_extra(HostPowerState::Compute);
+                    let mem = power.memory_stream_power_w(0.15, stacks)
+                        + x4_extra(HostPowerState::Compute);
                     record(&mut layers, &mut trace, name, t, false, HostPowerState::Compute, mem);
                 }
                 Layer::FullyConnected { name, n, k, pim_eligible } => {
                     let to_pim = pim_available
                         && *pim_eligible
-                        && Preprocessor::decide(&host_cfg, OpKind::Gemv, layer.weight_bytes(), batch)
-                            == ExecutionTarget::Pim;
+                        && Preprocessor::decide(
+                            &host_cfg,
+                            OpKind::Gemv,
+                            layer.weight_bytes(),
+                            batch,
+                        ) == ExecutionTarget::Pim;
                     if to_pim {
-                        let t = batch as f64 * cost.pim_gemv(*n, *k).seconds
-                            + cost.launch().seconds;
+                        let t =
+                            batch as f64 * cost.pim_gemv(*n, *k).seconds + cost.launch().seconds;
                         let mem = power.memory_pim_power_w(SystemPowerModel::PIM_PHASE_UTILIZATION);
                         record(
                             &mut layers,
@@ -176,8 +178,8 @@ impl ModelRunner {
                             mem,
                         );
                     } else {
-                        let t = cost.host_gemv(*n, *k, batch, scale).seconds
-                            + cost.launch().seconds;
+                        let t =
+                            cost.host_gemv(*n, *k, batch, scale).seconds + cost.launch().seconds;
                         let util = host_cfg.gemv_efficiency(batch).min(1.0);
                         let mem = power.memory_stream_power_w(util, stacks)
                             + x4_extra(HostPowerState::Streaming);
@@ -195,8 +197,12 @@ impl ModelRunner {
                 Layer::Lstm { name, hidden, input, steps, launches, .. } => {
                     let dirs = layer.lstm_directions();
                     let to_pim = pim_available
-                        && Preprocessor::decide(&host_cfg, OpKind::Lstm, layer.weight_bytes(), batch)
-                            == ExecutionTarget::Pim;
+                        && Preprocessor::decide(
+                            &host_cfg,
+                            OpKind::Lstm,
+                            layer.weight_bytes(),
+                            batch,
+                        ) == ExecutionTarget::Pim;
                     if to_pim {
                         let step_cost = cost.pim_lstm_step(*hidden, *input).seconds;
                         let launch_count = match launches {
@@ -263,8 +269,8 @@ impl ModelRunner {
                     let to_pim = pim_available
                         && Preprocessor::decide(&host_cfg, kind, bytes, 1) == ExecutionTarget::Pim;
                     if to_pim {
-                        let t = cost.pim_stream(op, elements * batch).seconds
-                            + cost.launch().seconds;
+                        let t =
+                            cost.pim_stream(op, elements * batch).seconds + cost.launch().seconds;
                         let mem = power.memory_pim_power_w(SystemPowerModel::PIM_PHASE_UTILIZATION);
                         record(
                             &mut layers,

@@ -1,0 +1,125 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+//!
+//! Emits the ["JSON Object Format"]: a top-level object with a
+//! `traceEvents` array of duration (`B`/`E`) and instant (`i`) events.
+//! Cycle timestamps are written as microseconds 1:1 — Perfetto's absolute
+//! numbers then read directly as cycles.
+//!
+//! ["JSON Object Format"]:
+//! https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::{Event, EventKind, Scope};
+
+/// Escapes a string for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps a scope to Chrome's (pid, tid) plane.
+///
+/// Channel becomes the process; unit or bank becomes the thread (units and
+/// banks are disjoint name spaces, so banks are offset by 1000 to keep the
+/// tracks apart). Global events live on pid 0 / tid 0.
+fn pid_tid(scope: &Scope) -> (u64, u64) {
+    let pid = scope.channel.map(|c| c as u64 + 1).unwrap_or(0);
+    let tid = match (scope.unit, scope.bank) {
+        (Some(u), _) => u as u64 + 1,
+        (None, Some(b)) => b as u64 + 1001,
+        (None, None) => 0,
+    };
+    (pid, tid)
+}
+
+fn push_event(out: &mut String, e: &Event) {
+    let ph = match e.kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Instant => "i",
+    };
+    let (pid, tid) = pid_tid(&e.scope);
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        escape_json(&e.name),
+        escape_json(e.cat),
+        ph,
+        e.ts,
+        pid,
+        tid
+    ));
+    if e.kind == EventKind::Instant {
+        // Thread-scoped instants render as small arrows on their track.
+        out.push_str(",\"s\":\"t\"");
+    }
+    if let Some((k, v)) = e.arg {
+        out.push_str(&format!(",\"args\":{{\"{}\":{}}}", escape_json(k), v));
+    }
+    out.push('}');
+}
+
+/// Renders events as a complete Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event(&mut out, e);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Scope;
+
+    #[test]
+    fn escaping_covers_specials_and_controls() {
+        assert_eq!(escape_json(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_json(r"a\b"), r"a\\b");
+        assert_eq!(escape_json("a\nb\tc"), r"a\nb\tc");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn document_shape_and_scope_mapping() {
+        let events = vec![
+            Event::begin(5, "gemv", "op", Scope::GLOBAL),
+            Event::instant(6, "RD", "command", Scope::bank(2, 3)).with_arg("col", 7),
+            Event::end(9, "gemv", "op", Scope::GLOBAL),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        // Bank 3 of channel 2: pid 3, tid 1004.
+        assert!(json.contains("\"ph\":\"i\",\"ts\":6,\"pid\":3,\"tid\":1004"), "{json}");
+        assert!(json.contains("\"args\":{\"col\":7}"));
+    }
+
+    #[test]
+    fn names_are_escaped_in_output() {
+        let events = vec![Event::instant(1, "we\"ird\n", "op", Scope::GLOBAL)];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains(r#"we\"ird\n"#), "{json}");
+    }
+}

@@ -1,0 +1,243 @@
+//! The structured event model: spans and instants with cycle timestamps.
+
+use std::borrow::Cow;
+
+/// A simulated-time timestamp, in DRAM controller cycles.
+pub type Cycle = u64;
+
+/// Where in the hardware hierarchy an event happened.
+///
+/// All levels are optional: a runtime-level op span has no channel, a
+/// controller command event has a channel and usually a bank, a PIM unit
+/// event has a channel and a unit. Exporters map `channel` to the trace
+/// "process" and `unit`/`bank` to the trace "thread" so that Perfetto lays
+/// the hierarchy out naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Scope {
+    /// Pseudo-channel index, if the event is channel-local.
+    pub channel: Option<u16>,
+    /// PIM unit index within the channel, if unit-local.
+    pub unit: Option<u16>,
+    /// Flat bank index within the channel, if bank-local.
+    pub bank: Option<u16>,
+}
+
+impl Scope {
+    /// The global (system-level) scope.
+    pub const GLOBAL: Scope = Scope { channel: None, unit: None, bank: None };
+
+    /// A channel-level scope.
+    pub fn channel(ch: u16) -> Scope {
+        Scope { channel: Some(ch), unit: None, bank: None }
+    }
+
+    /// A unit-level scope.
+    pub fn unit(ch: u16, unit: u16) -> Scope {
+        Scope { channel: Some(ch), unit: Some(unit), bank: None }
+    }
+
+    /// A bank-level scope.
+    pub fn bank(ch: u16, bank: u16) -> Scope {
+        Scope { channel: Some(ch), unit: None, bank: Some(bank) }
+    }
+}
+
+/// The kind of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Opens a span; must be matched by an [`EventKind::End`] with the same
+    /// scope, in LIFO order per scope.
+    Begin,
+    /// Closes the most recently opened span in the same scope.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated cycle at which the event occurred.
+    pub ts: Cycle,
+    /// Span begin/end or instant.
+    pub kind: EventKind,
+    /// Human-readable name ("gemv", "batch", "RD", ...).
+    pub name: Cow<'static, str>,
+    /// Category: one of the `names::CAT_*` constants ("op", "kernel",
+    /// "batch", "command", "mode").
+    pub cat: &'static str,
+    /// Hardware location.
+    pub scope: Scope,
+    /// Optional single numeric argument (e.g. a column index or stall
+    /// cycles), carried into exporter output.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+impl Event {
+    /// Creates a span-begin event.
+    pub fn begin(
+        ts: Cycle,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        scope: Scope,
+    ) -> Event {
+        Event { ts, kind: EventKind::Begin, name: name.into(), cat, scope, arg: None }
+    }
+
+    /// Creates a span-end event.
+    pub fn end(
+        ts: Cycle,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        scope: Scope,
+    ) -> Event {
+        Event { ts, kind: EventKind::End, name: name.into(), cat, scope, arg: None }
+    }
+
+    /// Creates an instant event.
+    pub fn instant(
+        ts: Cycle,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        scope: Scope,
+    ) -> Event {
+        Event { ts, kind: EventKind::Instant, name: name.into(), cat, scope, arg: None }
+    }
+
+    /// Attaches a numeric argument.
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Event {
+        self.arg = Some((key, value));
+        self
+    }
+}
+
+/// Checks span well-formedness over an event stream and returns the maximum
+/// nesting depth observed.
+///
+/// Spans are tracked per [`Scope`]: within each scope, every `End` must
+/// match the name of the most recent unclosed `Begin`, timestamps must be
+/// monotone per scope, and no span may remain open at the end of the
+/// stream. Instants are ignored. Returns `Err` with a description of the
+/// first violation.
+pub fn check_nesting(events: &[Event]) -> Result<usize, String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<Scope, Vec<(&str, Cycle)>> = HashMap::new();
+    let mut last_ts: HashMap<Scope, Cycle> = HashMap::new();
+    // Depth counts the full hierarchy: spans open across *enclosing* scopes
+    // (e.g. a global op span over per-channel batch spans) plus the local
+    // stack. An enclosing scope is one with strictly fewer fields set.
+    let encloses = |outer: &Scope, inner: &Scope| -> bool {
+        if outer == inner {
+            return false;
+        }
+        let ch_ok = outer.channel.is_none() || outer.channel == inner.channel;
+        let unit_ok = outer.unit.is_none() || outer.unit == inner.unit;
+        let bank_ok = outer.bank.is_none() || outer.bank == inner.bank;
+        ch_ok && unit_ok && bank_ok
+    };
+    let mut max_depth = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        if let Some(&prev) = last_ts.get(&e.scope) {
+            if e.ts < prev {
+                return Err(format!(
+                    "event {i} ({:?} {:?}): timestamp {} goes backwards (prev {prev}) in scope {:?}",
+                    e.kind, e.name, e.ts, e.scope
+                ));
+            }
+        }
+        last_ts.insert(e.scope, e.ts);
+        match e.kind {
+            EventKind::Begin => {
+                stacks.entry(e.scope).or_default().push((&e.name, e.ts));
+                let local = stacks[&e.scope].len();
+                let inherited: usize = stacks
+                    .iter()
+                    .filter(|(s, st)| encloses(s, &e.scope) && !st.is_empty())
+                    .map(|(_, st)| st.len())
+                    .sum();
+                max_depth = max_depth.max(local + inherited);
+            }
+            EventKind::End => {
+                let stack = stacks.entry(e.scope).or_default();
+                match stack.pop() {
+                    None => {
+                        return Err(format!(
+                            "event {i}: End {:?} with no open span in scope {:?}",
+                            e.name, e.scope
+                        ));
+                    }
+                    Some((open, _)) if open != e.name => {
+                        return Err(format!(
+                            "event {i}: End {:?} does not match open span {:?} in scope {:?}",
+                            e.name, open, e.scope
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            EventKind::Instant => {}
+        }
+    }
+    for (scope, stack) in &stacks {
+        if let Some((name, ts)) = stack.last() {
+            return Err(format!(
+                "span {name:?} opened at cycle {ts} in scope {scope:?} never closed"
+            ));
+        }
+    }
+    Ok(max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_depth_counts_hierarchy() {
+        let ch = Scope::channel(0);
+        let events = vec![
+            Event::begin(0, "op", "op", Scope::GLOBAL),
+            Event::begin(1, "kernel", "kernel", Scope::GLOBAL),
+            Event::begin(2, "batch", "batch", ch),
+            Event::instant(3, "RD", "command", ch),
+            Event::end(4, "batch", "batch", ch),
+            Event::end(5, "kernel", "kernel", Scope::GLOBAL),
+            Event::end(6, "op", "op", Scope::GLOBAL),
+        ];
+        assert_eq!(check_nesting(&events), Ok(3));
+    }
+
+    #[test]
+    fn mismatched_end_is_rejected() {
+        let events = vec![
+            Event::begin(0, "a", "op", Scope::GLOBAL),
+            Event::end(1, "b", "op", Scope::GLOBAL),
+        ];
+        assert!(check_nesting(&events).is_err());
+    }
+
+    #[test]
+    fn unclosed_span_is_rejected() {
+        let events = vec![Event::begin(0, "a", "op", Scope::GLOBAL)];
+        assert!(check_nesting(&events).is_err());
+    }
+
+    #[test]
+    fn backwards_time_in_scope_is_rejected() {
+        let events = vec![
+            Event::instant(5, "x", "command", Scope::channel(1)),
+            Event::instant(4, "y", "command", Scope::channel(1)),
+        ];
+        assert!(check_nesting(&events).is_err());
+    }
+
+    #[test]
+    fn per_scope_clocks_are_independent() {
+        // Channel 1 may lag channel 0 — each advances its own clock.
+        let events = vec![
+            Event::instant(100, "x", "command", Scope::channel(0)),
+            Event::instant(5, "y", "command", Scope::channel(1)),
+        ];
+        assert_eq!(check_nesting(&events), Ok(0));
+    }
+}

@@ -1,0 +1,30 @@
+//! Observability layer for the PIM-HBM simulator.
+//!
+//! This crate is the simulator's unified telemetry substrate: a structured
+//! event bus ([`event`], [`sink`]), a metrics registry of counters, gauges
+//! and fixed-bucket histograms ([`metrics`]), exporters to Chrome
+//! trace-event JSON and CSV ([`chrome`], [`csv`]), and the cheap, cloneable
+//! [`Recorder`] handle the simulation crates carry as an *optional* field —
+//! when no recorder is attached, instrumentation reduces to an
+//! `Option::None` check, so profiling is strictly opt-in and has zero
+//! observer effect on simulated cycle counts.
+//!
+//! The crate is intentionally dependency-free and single-threaded (the
+//! simulator advances channel clocks sequentially), so the recorder is an
+//! `Rc<RefCell<...>>`, not a lock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod csv;
+pub mod event;
+pub mod metrics;
+pub mod names;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{check_nesting, Cycle, Event, EventKind, Scope};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use recorder::Recorder;
+pub use sink::{CountingSink, EventSink, FileSink, RingSink, Sink, VecSink};

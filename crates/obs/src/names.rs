@@ -1,0 +1,57 @@
+//! Canonical metric and category names used by the instrumented crates.
+//!
+//! Centralised so that producers (dram/core/host/runtime) and consumers
+//! (profile report, CSV export, tests) agree on spelling.
+
+/// Category for runtime-level operation spans (one BLAS call).
+pub const CAT_OP: &str = "op";
+/// Category for kernel-phase spans emitted by the executor/engine.
+pub const CAT_KERNEL: &str = "kernel";
+/// Category for per-batch spans emitted by the kernel engine.
+pub const CAT_BATCH: &str = "batch";
+/// Category for individual DRAM command instants.
+pub const CAT_COMMAND: &str = "command";
+/// Category for device mode-transition instants.
+pub const CAT_MODE: &str = "mode";
+
+/// Counter: column command hit an already-open row.
+pub const CTRL_ROW_HIT: &str = "ctrl.row_hit";
+/// Counter: column command to an idle (closed) bank.
+pub const CTRL_ROW_MISS: &str = "ctrl.row_miss";
+/// Counter: column command required closing a different open row.
+pub const CTRL_ROW_CONFLICT: &str = "ctrl.row_conflict";
+/// Counter: requests completed by the controller queue.
+pub const CTRL_COMPLETED: &str = "ctrl.completed";
+/// Counter: requests issued ahead of an older queued request (FR-FCFS).
+pub const CTRL_REORDERED: &str = "ctrl.reordered";
+/// Counter: raw (PIM-path) commands issued to the device.
+pub const CTRL_RAW_COMMANDS: &str = "ctrl.raw_commands";
+/// Histogram: queue depth observed at each enqueue.
+pub const CTRL_QUEUE_DEPTH: &str = "ctrl.queue_depth";
+/// Counter: cycles all banks spent with a row open (residency).
+pub const BANK_OPEN_CYCLES: &str = "bank.open_cycles";
+/// Counter: cycles all banks spent precharged/idle (residency).
+pub const BANK_CLOSED_CYCLES: &str = "bank.closed_cycles";
+
+/// Counter: operating-mode transitions (SB <-> AB <-> AB-PIM).
+pub const DEV_MODE_TRANSITIONS: &str = "dev.mode_transitions";
+/// Counter: CRF instruction words programmed.
+pub const DEV_CRF_LOADS: &str = "dev.crf_loads";
+/// Counter: PIM instructions triggered across units.
+pub const DEV_PIM_TRIGGERS: &str = "dev.pim_triggers";
+/// Counter: cycles PIM units spent executing triggered instructions.
+pub const DEV_UNIT_BUSY_CYCLES: &str = "dev.unit_busy_cycles";
+
+/// Counter: cycles the host spent draining fences.
+pub const ENGINE_FENCE_STALL_CYCLES: &str = "engine.fence_stall_cycles";
+/// Counter: fences executed.
+pub const ENGINE_FENCES: &str = "engine.fences";
+/// Counter: command batches issued.
+pub const ENGINE_BATCHES: &str = "engine.batches";
+/// Histogram: commands per batch.
+pub const ENGINE_BATCH_LEN: &str = "engine.batch_len";
+
+/// Bucket upper bounds for queue-depth style histograms.
+pub const QUEUE_DEPTH_BUCKETS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64];
+/// Bucket upper bounds for batch-length histograms (fences every 8).
+pub const BATCH_LEN_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32];

@@ -1,0 +1,219 @@
+//! The [`Recorder`]: the cloneable handle simulation crates carry.
+
+use crate::event::{Cycle, Event, Scope};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::sink::{CountingSink, EventSink, RingSink, Sink, VecSink};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    sink: Sink,
+    metrics: MetricsRegistry,
+}
+
+/// A shared handle to one event sink plus one metrics registry.
+///
+/// Cloning is cheap (`Rc`); every instrumented layer of one simulation run
+/// holds a clone of the same recorder, so events from the controller, the
+/// device, the engine, and the runtime interleave into a single stream and
+/// a single registry. The simulator is single-threaded by construction, so
+/// interior mutability is a `RefCell`, not a lock.
+///
+/// Instrumented code stores an `Option<Recorder>` that defaults to `None`;
+/// with no recorder attached the hooks cost one pointer test.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Recorder {
+    /// Creates a recorder over an arbitrary sink.
+    pub fn new(sink: Sink) -> Recorder {
+        Recorder { inner: Rc::new(RefCell::new(Inner { sink, metrics: MetricsRegistry::new() })) }
+    }
+
+    /// Recorder keeping every event in memory.
+    pub fn vec() -> Recorder {
+        Recorder::new(Sink::Vec(VecSink::new()))
+    }
+
+    /// Recorder keeping the most recent `capacity` events.
+    pub fn ring(capacity: usize) -> Recorder {
+        Recorder::new(Sink::Ring(RingSink::new(capacity)))
+    }
+
+    /// Recorder that only counts events (used by the observer-effect test).
+    pub fn counting() -> Recorder {
+        Recorder::new(Sink::Counting(CountingSink::new()))
+    }
+
+    /// Recorder over a custom sink implementation.
+    pub fn custom(sink: Box<dyn EventSink>) -> Recorder {
+        Recorder::new(Sink::Custom(sink))
+    }
+
+    /// Emits a span-begin event.
+    pub fn begin(
+        &self,
+        ts: Cycle,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        scope: Scope,
+    ) {
+        self.emit(Event::begin(ts, name, cat, scope));
+    }
+
+    /// Emits a span-end event.
+    pub fn end(
+        &self,
+        ts: Cycle,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        scope: Scope,
+    ) {
+        self.emit(Event::end(ts, name, cat, scope));
+    }
+
+    /// Emits an instant event.
+    pub fn instant(
+        &self,
+        ts: Cycle,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        scope: Scope,
+    ) {
+        self.emit(Event::instant(ts, name, cat, scope));
+    }
+
+    /// Emits a pre-built event.
+    pub fn emit(&self, event: Event) {
+        self.inner.borrow_mut().sink.record(&event);
+    }
+
+    /// Adds to a named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.inner.borrow_mut().metrics.add(name, delta);
+    }
+
+    /// Sets a named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.borrow_mut().metrics.set_gauge(name, value);
+    }
+
+    /// Records a sample into a named histogram (created with `bounds` on
+    /// first use).
+    pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
+        self.inner.borrow_mut().metrics.observe(name, bounds, value);
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.borrow().metrics.snapshot()
+    }
+
+    /// The retained events, if the sink retains any.
+    pub fn events(&self) -> Option<Vec<Event>> {
+        self.inner.borrow().sink.events()
+    }
+
+    /// Events offered to the sink so far.
+    pub fn events_offered(&self) -> u64 {
+        self.inner.borrow().sink.offered()
+    }
+
+    /// Events dropped by a bounded sink.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.borrow().sink.dropped()
+    }
+
+    /// Runs `f` with mutable access to the metrics registry (bulk import).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.inner.borrow_mut().metrics)
+    }
+}
+
+/// RAII guard emitting a span-end when dropped — convenience for
+/// instrumenting scoped regions where the end cycle is read at drop time.
+///
+/// Most simulator instrumentation calls [`Recorder::begin`]/[`Recorder::end`]
+/// directly because the end timestamp comes from the simulated clock, not
+/// from guard drop order; the guard exists for callers whose span ends
+/// coincide with lexical scope.
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    scope: Scope,
+    end_ts: Cycle,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens a span at `ts`; the end event is emitted on drop at the
+    /// timestamp set by [`SpanGuard::set_end`] (defaults to `ts`).
+    pub fn enter(
+        recorder: &'a Recorder,
+        ts: Cycle,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        scope: Scope,
+    ) -> SpanGuard<'a> {
+        let name = name.into();
+        recorder.begin(ts, name.clone(), cat, scope);
+        SpanGuard { recorder, name, cat, scope, end_ts: ts }
+    }
+
+    /// Sets the cycle at which the span ends.
+    pub fn set_end(&mut self, ts: Cycle) {
+        self.end_ts = ts;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.end(self.end_ts, self.name.clone(), self.cat, self.scope);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::vec();
+        let r2 = r.clone();
+        r.instant(1, "a", "command", Scope::GLOBAL);
+        r2.instant(2, "b", "command", Scope::GLOBAL);
+        r.add("x", 1);
+        r2.add("x", 2);
+        assert_eq!(r.events().unwrap().len(), 2);
+        assert_eq!(r2.metrics().registry.counter("x"), 3);
+    }
+
+    #[test]
+    fn span_guard_emits_balanced_events() {
+        let r = Recorder::vec();
+        {
+            let mut g = SpanGuard::enter(&r, 10, "op", "op", Scope::GLOBAL);
+            g.set_end(20);
+        }
+        let events = r.events().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Begin);
+        assert_eq!(events[1].kind, EventKind::End);
+        assert_eq!(events[1].ts, 20);
+        assert_eq!(crate::event::check_nesting(&events), Ok(1));
+    }
+
+    #[test]
+    fn counting_recorder_reports_offered() {
+        let r = Recorder::counting();
+        r.instant(1, "a", "command", Scope::GLOBAL);
+        r.instant(2, "b", "command", Scope::GLOBAL);
+        assert_eq!(r.events_offered(), 2);
+        assert!(r.events().is_none());
+    }
+}

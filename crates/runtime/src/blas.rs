@@ -10,14 +10,31 @@
 use crate::context::PimContext;
 use crate::executor::Executor;
 use crate::kernels::{
-    gemv_batches, gemv_microkernel, stream_batches, stream_columns, stream_microkernel,
-    StreamOp, COLS_PER_ROW, GROUP,
+    gemv_batches, gemv_microkernel, stream_batches, stream_columns, stream_microkernel, StreamOp,
+    COLS_PER_ROW, GROUP,
 };
 use crate::layout::{self, BlockMap, BLOCK_ELEMS};
 use pim_core::{LaneVec, PimVariant};
 use pim_dram::Cycle;
 use pim_fp16::F16;
+use pim_obs::{names, Recorder, Scope};
 use std::fmt;
+
+/// Opens an op-level span named `name` if profiling is enabled; the caller
+/// closes it with [`end_op`]. Op spans live in the global scope and enclose
+/// every batch/command event the call produces.
+fn begin_op(ctx: &PimContext, name: &'static str) -> Option<Recorder> {
+    let r = ctx.recorder.clone()?;
+    r.begin(ctx.sys.max_now(), name, names::CAT_OP, Scope::GLOBAL);
+    Some(r)
+}
+
+/// Closes a span opened by [`begin_op`] at the system's current cycle.
+fn end_op(rec: &Option<Recorder>, ctx: &PimContext, name: &'static str) {
+    if let Some(r) = rec {
+        r.end(ctx.sys.max_now(), name, names::CAT_OP, Scope::GLOBAL);
+    }
+}
 
 /// Errors surfaced by the PIM-BLAS API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,7 +115,11 @@ impl PimBlas {
     /// [`PimError::SizeMismatch`] if lengths differ; [`PimError::Empty`]
     /// for empty inputs; [`PimError::OutOfMemory`] if the reserved region
     /// cannot hold the operands.
-    pub fn add(ctx: &mut PimContext, x: &[f32], y: &[f32]) -> Result<(Vec<f32>, KernelReport), PimError> {
+    pub fn add(
+        ctx: &mut PimContext,
+        x: &[f32],
+        y: &[f32],
+    ) -> Result<(Vec<f32>, KernelReport), PimError> {
         Self::stream_binary(ctx, StreamOp::Add, x, Some(y), None)
     }
 
@@ -107,7 +128,11 @@ impl PimBlas {
     /// # Errors
     ///
     /// As for [`PimBlas::add`].
-    pub fn mul(ctx: &mut PimContext, x: &[f32], y: &[f32]) -> Result<(Vec<f32>, KernelReport), PimError> {
+    pub fn mul(
+        ctx: &mut PimContext,
+        x: &[f32],
+        y: &[f32],
+    ) -> Result<(Vec<f32>, KernelReport), PimError> {
         Self::stream_binary(ctx, StreamOp::Mul, x, Some(y), None)
     }
 
@@ -219,7 +244,11 @@ impl PimBlas {
         }
         if table.len() != rows * dim {
             return Err(PimError::SizeMismatch {
-                detail: format!("table has {} elements, expected rows*dim = {}", table.len(), rows * dim),
+                detail: format!(
+                    "table has {} elements, expected rows*dim = {}",
+                    table.len(),
+                    rows * dim
+                ),
             });
         }
         if let Some(&bad) = indices.iter().find(|&&i| i as usize >= rows) {
@@ -242,6 +271,7 @@ impl PimBlas {
             .mm
             .alloc_rows_lockstep(dram_rows)
             .map_err(|e| PimError::OutOfMemory { detail: e.to_string() })?;
+        let rec = begin_op(ctx, "sls");
 
         // Table placement: each (channel, unit) stores its 16-dim slice of
         // every embedding row; embedding row e lives at DRAM
@@ -296,6 +326,7 @@ impl PimBlas {
             pim_triggers: ctx.sys.total_pim_triggers() - triggers_before,
             elements: dim,
         };
+        end_op(&rec, ctx, "sls");
         Ok((out, report))
     }
 
@@ -326,6 +357,14 @@ impl PimBlas {
             .mm
             .alloc_rows_lockstep(rows)
             .map_err(|e| PimError::OutOfMemory { detail: e.to_string() })?;
+        let op_name = match op {
+            StreamOp::Add => "add",
+            StreamOp::Mul => "mul",
+            StreamOp::Relu => "relu",
+            StreamOp::Bn => "bn",
+            StreamOp::Axpy => "axpy",
+        };
+        let rec = begin_op(ctx, op_name);
 
         // Place operands (Fig. 15(b) interleaving).
         let (x_col, y_col, z_col) = stream_columns(op, &cfg);
@@ -376,6 +415,7 @@ impl PimBlas {
             pim_triggers: ctx.sys.total_pim_triggers() - triggers_before,
             elements: n,
         };
+        end_op(&rec, ctx, op_name);
         Ok((z, report))
     }
 
@@ -422,6 +462,7 @@ impl PimBlas {
             .mm
             .alloc_rows_lockstep(rows_per_pass * passes as u32)
             .map_err(|e| PimError::OutOfMemory { detail: e.to_string() })?;
+        let rec = begin_op(ctx, "gemv");
 
         // Weight placement: lane l of (pass, ch, unit) owns output row
         // out_base + l; input j sits at (row j/32, col j%32).
@@ -497,6 +538,7 @@ impl PimBlas {
             pim_triggers: ctx.sys.total_pim_triggers() - triggers_before,
             elements: n,
         };
+        end_op(&rec, ctx, "gemv");
         Ok((out, report))
     }
 
@@ -553,9 +595,7 @@ impl PimBlas {
                 // Mirror the device's FP16 rounding of inputs for a fair
                 // comparison (operands are stored as binary16).
                 (0..k)
-                    .map(|j| {
-                        F16::from_f32(w[o * k + j]).to_f32() * F16::from_f32(x[j]).to_f32()
-                    })
+                    .map(|j| F16::from_f32(w[o * k + j]).to_f32() * F16::from_f32(x[j]).to_f32())
                     .sum()
             })
             .collect()
@@ -625,9 +665,7 @@ mod tests {
         let x: Vec<f32> = (0..128).map(|i| i as f32).collect();
         let (z, _) = PimBlas::bn(&mut ctx, &x, 0.5, 3.0).unwrap();
         for i in 0..128 {
-            let want = F16::from_f32(i as f32)
-                .mac(F16::from_f32(0.5), F16::from_f32(3.0))
-                .to_f32();
+            let want = F16::from_f32(i as f32).mac(F16::from_f32(0.5), F16::from_f32(3.0)).to_f32();
             assert_eq!(z[i], want, "element {i}");
         }
     }
@@ -695,12 +733,18 @@ mod tests {
         // passes.
         let n = 2048 + 64;
         let k = 16;
-        let w: Vec<f32> = (0..n * k).map(|i| if i % k == (i / k) % k { 1.0 } else { 0.0 }).collect();
+        let w: Vec<f32> =
+            (0..n * k).map(|i| if i % k == (i / k) % k { 1.0 } else { 0.0 }).collect();
         let x: Vec<f32> = (0..k).map(|i| i as f32).collect();
         let (out, _) = PimBlas::gemv(&mut ctx, &w, n, k, &x).unwrap();
         let reference = PimBlas::reference_gemv(&w, n, k, &x);
         for o in 0..n {
-            assert!((out[o] - reference[o]).abs() < 1e-3, "output {o}: {} vs {}", out[o], reference[o]);
+            assert!(
+                (out[o] - reference[o]).abs() < 1e-3,
+                "output {o}: {} vs {}",
+                out[o],
+                reference[o]
+            );
         }
     }
 
@@ -732,10 +776,7 @@ mod tests {
             PimBlas::sls(&mut ctx, &[1.0; 10], 2, 5, &[7]),
             Err(PimError::SizeMismatch { .. })
         ));
-        assert!(matches!(
-            PimBlas::sls(&mut ctx, &[], 0, 0, &[]),
-            Err(PimError::Empty)
-        ));
+        assert!(matches!(PimBlas::sls(&mut ctx, &[], 0, 0, &[]), Err(PimError::Empty)));
     }
 
     #[test]
@@ -749,7 +790,8 @@ mod tests {
         let x = vec![0.5f32; xdim];
         let h0 = vec![0.0f32; h];
         let c0 = vec![0.0f32; h];
-        let (h1, c1, report) = PimBlas::lstm_cell(&mut ctx, &w_x, &w_h, &bias, &x, &h0, &c0).unwrap();
+        let (h1, c1, report) =
+            PimBlas::lstm_cell(&mut ctx, &w_x, &w_h, &bias, &x, &h0, &c0).unwrap();
         assert_eq!(h1.len(), h);
         assert!(h1.iter().all(|v| v.is_finite() && v.abs() <= 1.0));
         assert!(c1.iter().all(|v| v.is_finite()));

@@ -4,6 +4,7 @@
 use crate::driver::{MemoryManager, PimDriver};
 use pim_core::PimConfig;
 use pim_host::{ExecutionMode, HostConfig, PimSystem};
+use pim_obs::Recorder;
 
 /// Everything a PIM-BLAS call needs: the simulated system, the booted
 /// driver, the memory manager, and the ordering regime.
@@ -19,6 +20,10 @@ pub struct PimContext {
     /// the shipped system; [`ExecutionMode::Ordered`] reproduces the
     /// no-fence what-if).
     pub mode: ExecutionMode,
+    /// The shared observability recorder, if profiling is enabled
+    /// ([`PimContext::enable_profiling`]). `None` by default: instrumented
+    /// layers then skip all event/metric work.
+    pub recorder: Option<Recorder>,
 }
 
 impl PimContext {
@@ -39,12 +44,47 @@ impl PimContext {
         let sys = PimSystem::new(host, pim.clone());
         let driver = PimDriver::boot(sys.channel_count(), pim.units_per_pch);
         let mm = driver.memory_manager();
-        PimContext { sys, driver, mm, mode: ExecutionMode::Fenced { reorder_seed: None } }
+        PimContext {
+            sys,
+            driver,
+            mm,
+            mode: ExecutionMode::Fenced { reorder_seed: None },
+            recorder: None,
+        }
     }
 
     /// Switches the ordering regime.
     pub fn set_mode(&mut self, mode: ExecutionMode) {
         self.mode = mode;
+    }
+
+    /// Attaches `recorder` to every layer of the simulation: each channel's
+    /// memory controller and PIM device, plus the runtime itself (op
+    /// spans). All layers share one event stream and one metrics registry.
+    pub fn enable_profiling(&mut self, recorder: Recorder) {
+        for i in 0..self.sys.channel_count() {
+            let ctrl = self.sys.channel_mut(i);
+            ctrl.set_recorder(recorder.clone(), i as u16);
+            ctrl.sink_mut().set_recorder(recorder.clone(), i as u16);
+        }
+        self.recorder = Some(recorder);
+    }
+
+    /// Folds per-bank row-state residency (cycles spent with a row open vs
+    /// precharged) into the recorder's gauges, summed over all channels up
+    /// to each channel's current cycle. Call after the workload of
+    /// interest; gauges overwrite, so repeated calls stay correct.
+    pub fn snapshot_residency(&self) {
+        let Some(r) = &self.recorder else { return };
+        let (mut open, mut closed) = (0u64, 0u64);
+        for i in 0..self.sys.channel_count() {
+            let ctrl = self.sys.channel(i);
+            let (o, c) = ctrl.sink().dram().bank_residency(ctrl.now());
+            open += o;
+            closed += c;
+        }
+        r.set_gauge(pim_obs::names::BANK_OPEN_CYCLES, open as f64);
+        r.set_gauge(pim_obs::names::BANK_CLOSED_CYCLES, closed as f64);
     }
 
     /// Frees all PIM memory (arena reset between benchmarks).

@@ -21,6 +21,7 @@ use pim_core::isa::Instruction;
 use pim_core::{conf, LaneVec};
 use pim_dram::{BankAddr, Command, CommandSink, DataBlock};
 use pim_host::{Batch, ExecutionMode, KernelEngine, KernelResult};
+use pim_obs::{names, Scope};
 
 /// The PIM executor: stateless command-choreography builder + runner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -46,7 +47,7 @@ impl Executor {
             cmds.push(Command::Wr { bank, col: chunk_idx as u32, data });
         }
         cmds.push(Command::Pre { bank });
-        vec![Batch::setup(cmds)]
+        vec![Batch::setup(cmds).with_label("crf")]
     }
 
     /// Builds the SRF-preload batch (scale scalars in lanes 0–7 → SRF_M,
@@ -58,6 +59,7 @@ impl Executor {
             Command::Wr { bank, col: 0, data: values.to_block() },
             Command::Pre { bank },
         ])
+        .with_label("srf")
     }
 
     /// Builds the GRF_B-clearing batch (broadcast zeros to columns 8–15 of
@@ -69,7 +71,7 @@ impl Executor {
             cmds.push(Command::Wr { bank, col: c, data: [0u8; 32] });
         }
         cmds.push(Command::Pre { bank });
-        Batch::setup(cmds)
+        Batch::setup(cmds).with_label("clear_grf_b")
     }
 
     /// Assembles the full kernel choreography around `data_batches` (which
@@ -82,7 +84,7 @@ impl Executor {
         data_batches: &[Batch],
     ) -> Vec<Batch> {
         let mut batches = Vec::new();
-        batches.push(Batch::setup(conf::enter_ab_sequence()));
+        batches.push(Batch::setup(conf::enter_ab_sequence()).with_label("enter_ab"));
         batches.extend(Self::crf_batches(program));
         if let Some(v) = srf {
             batches.push(Self::srf_batch(v));
@@ -90,10 +92,10 @@ impl Executor {
         if clear_grf_b {
             batches.push(Self::clear_grf_b_batch());
         }
-        batches.push(Batch::setup(conf::set_pim_op_mode_sequence(true)));
+        batches.push(Batch::setup(conf::set_pim_op_mode_sequence(true)).with_label("pim_on"));
         batches.extend_from_slice(data_batches);
-        batches.push(Batch::setup(conf::set_pim_op_mode_sequence(false)));
-        batches.push(Batch::setup(conf::exit_ab_sequence()));
+        batches.push(Batch::setup(conf::set_pim_op_mode_sequence(false)).with_label("pim_off"));
+        batches.push(Batch::setup(conf::exit_ab_sequence()).with_label("exit_ab"));
         batches
     }
 
@@ -109,7 +111,14 @@ impl Executor {
     ) -> KernelResult {
         let batches = Self::full_kernel(program, srf, clear_grf_b, data_batches);
         let per_channel: Vec<Vec<Batch>> = (0..channels).map(|_| batches.clone()).collect();
-        KernelEngine::run_system(&mut ctx.sys, &per_channel, ctx.mode)
+        if let Some(r) = &ctx.recorder {
+            r.begin(ctx.sys.max_now(), "kernel", names::CAT_KERNEL, Scope::GLOBAL);
+        }
+        let result = KernelEngine::run_system(&mut ctx.sys, &per_channel, ctx.mode);
+        if let Some(r) = &ctx.recorder {
+            r.end(ctx.sys.max_now(), "kernel", names::CAT_KERNEL, Scope::GLOBAL);
+        }
+        result
     }
 
     /// Reads GRF_A[0..8] of (`ch`, `unit`) back through the memory-mapped
@@ -164,10 +173,8 @@ mod tests {
     #[test]
     fn choreography_brackets_data_phase() {
         let prog = vec![Instruction::Exit];
-        let data = vec![Batch::commutative(vec![Command::Rd {
-            bank: BankAddr::new(0, 0),
-            col: 0,
-        }])];
+        let data =
+            vec![Batch::commutative(vec![Command::Rd { bank: BankAddr::new(0, 0), col: 0 }])];
         let all = Executor::full_kernel(&prog, None, false, &data);
         // enter AB, CRF, op-mode on, data, op-mode off, exit AB.
         assert_eq!(all.len(), 6);

@@ -78,10 +78,7 @@ fn host_execute(op: &PimOp) -> Vec<f32> {
 fn bind_input(op: &PimOp, input: &[f32]) -> Result<PimOp, PimError> {
     let mut op = op.clone();
     match &mut op {
-        PimOp::Add { x, .. }
-        | PimOp::Mul { x, .. }
-        | PimOp::Relu { x }
-        | PimOp::Bn { x, .. } => {
+        PimOp::Add { x, .. } | PimOp::Mul { x, .. } | PimOp::Relu { x } | PimOp::Bn { x, .. } => {
             *x = input.to_vec();
         }
         PimOp::Gemv { k, x, .. } => {
@@ -145,16 +142,8 @@ mod tests {
         let w: Vec<f32> = (0..n * k).map(|i| ((i % 13) as f32 - 6.0) / 64.0).collect();
         let x: Vec<f32> = (0..k).map(|i| ((i % 7) as f32 - 3.0) / 8.0).collect();
         vec![
-            GraphNode {
-                name: "fc".into(),
-                op: PimOp::Gemv { w, n, k, x },
-                chain_input: false,
-            },
-            GraphNode {
-                name: "relu".into(),
-                op: PimOp::Relu { x: vec![] },
-                chain_input: true,
-            },
+            GraphNode { name: "fc".into(), op: PimOp::Gemv { w, n, k, x }, chain_input: false },
+            GraphNode { name: "relu".into(), op: PimOp::Relu { x: vec![] }, chain_input: true },
         ]
     }
 
@@ -176,11 +165,7 @@ mod tests {
     fn native_path_keeps_everything_on_host_at_batch_4() {
         let mut ctx = PimContext::small_system();
         let r = run_graph(&mut ctx, &mlp(2048, 2048), 4).unwrap();
-        assert_eq!(
-            r.records[0].target,
-            ExecutionTarget::Host,
-            "batched GEMM stays on the host"
-        );
+        assert_eq!(r.records[0].target, ExecutionTarget::Host, "batched GEMM stays on the host");
     }
 
     #[test]
@@ -210,10 +195,7 @@ mod tests {
             op: PimOp::Gemv { w: vec![0.0; 10 * 100], n: 10, k: 100, x: vec![] },
             chain_input: true,
         });
-        assert!(matches!(
-            run_graph(&mut ctx, &nodes, 1),
-            Err(PimError::SizeMismatch { .. })
-        ));
+        assert!(matches!(run_graph(&mut ctx, &nodes, 1), Err(PimError::SizeMismatch { .. })));
     }
 
     #[test]

@@ -143,12 +143,7 @@ pub fn stream_microkernel(op: StreamOp, groups: u32, config: &PimConfig) -> Vec<
         StreamOp::Bn => {
             // MAD: x*SRF_M + SRF_A; scale/shift were loaded into the SRF
             // once, before AB-PIM mode was entered.
-            prog.push(Instruction::Mad {
-                dst: ga,
-                src0: even,
-                src1: Operand::srf_m(0),
-                aam,
-            });
+            prog.push(Instruction::Mad { dst: ga, src0: even, src1: Operand::srf_m(0), aam });
             prog.push(Instruction::Jump { target: 0, count: GROUP });
             prog.push(Instruction::Mov { dst: even, src: ga, relu: false, aam });
             prog.push(Instruction::Jump { target: 2, count: GROUP });
@@ -159,12 +154,7 @@ pub fn stream_microkernel(op: StreamOp, groups: u32, config: &PimConfig) -> Vec<
             // SRF_M by the executor's SRF preload), store.
             prog.push(Instruction::Fill { dst: ga, src: even, aam });
             prog.push(Instruction::Jump { target: 0, count: GROUP });
-            prog.push(Instruction::Mac {
-                dst: ga,
-                src0: even,
-                src1: Operand::srf_m(0),
-                aam,
-            });
+            prog.push(Instruction::Mac { dst: ga, src0: even, src1: Operand::srf_m(0), aam });
             prog.push(Instruction::Jump { target: 2, count: GROUP });
             prog.push(Instruction::Mov { dst: even, src: ga, relu: false, aam });
             prog.push(Instruction::Jump { target: 4, count: GROUP });
@@ -209,20 +199,20 @@ pub fn stream_batches(op: StreamOp, rows: u32, base_row: u32, config: &PimConfig
     let mut batches = Vec::new();
     let mut pending: Vec<Command> = Vec::new();
     let mut pending_groups = 0u32;
-    let flush =
-        |batches: &mut Vec<Batch>, pending: &mut Vec<Command>, pending_groups: &mut u32| {
-            if !pending.is_empty() {
-                batches.push(Batch::commutative(std::mem::take(pending)));
-                *pending_groups = 0;
-            }
-        };
+    let flush = |batches: &mut Vec<Batch>, pending: &mut Vec<Command>, pending_groups: &mut u32| {
+        if !pending.is_empty() {
+            batches.push(Batch::commutative(std::mem::take(pending)));
+            *pending_groups = 0;
+        }
+    };
     for r in 0..rows {
         let row = base_row + r;
         flush(&mut batches, &mut pending, &mut pending_groups);
         batches.push(Batch::setup(vec![Command::Act { bank, row }]));
-        let stage = |cols_base: u32, batches: &mut Vec<Batch>,
-                         pending: &mut Vec<Command>,
-                         pending_groups: &mut u32| {
+        let stage = |cols_base: u32,
+                     batches: &mut Vec<Batch>,
+                     pending: &mut Vec<Command>,
+                     pending_groups: &mut u32| {
             for c in 0..GROUP {
                 pending.push(Command::Rd { bank, col: cols_base + c });
             }
@@ -353,8 +343,7 @@ pub fn gemv_batches(k: usize, base_row: u32, x: &[f32], config: &PimConfig) -> V
             let mut lanes = [F16::ZERO; 16];
             for (c, lane) in lanes.iter_mut().enumerate().take(GROUP as usize) {
                 let j = j0 as usize + c;
-                *lane =
-                    F16::from_f32(if j < k { x.get(j).copied().unwrap_or(0.0) } else { 0.0 });
+                *lane = F16::from_f32(if j < k { x.get(j).copied().unwrap_or(0.0) } else { 0.0 });
             }
             pending.push(Command::Wr {
                 bank,
@@ -437,7 +426,12 @@ pub fn sls_batches(indices: &[u32], base_row: u32) -> Vec<Batch> {
         if i == 0 {
             batches.push(Batch::fenced_ordered(vec![Command::Rd { bank, col }]));
         } else {
-            batches.push(Batch { commands: vec![Command::Rd { bank, col }], commutative: true, fence_after: false });
+            batches.push(Batch {
+                commands: vec![Command::Rd { bank, col }],
+                commutative: true,
+                fence_after: false,
+                label: None,
+            });
         }
     }
     if open.is_some() {
@@ -467,11 +461,8 @@ mod tests {
         // Base ADD: 24 triggers per group (8 loads, 8 adds, 8 stores).
         let cfg = PimConfig::paper();
         let batches = stream_batches(StreamOp::Add, 2, 0, &cfg);
-        let cols: usize = batches
-            .iter()
-            .flat_map(|b| b.commands.iter())
-            .filter(|c| c.is_column())
-            .count();
+        let cols: usize =
+            batches.iter().flat_map(|b| b.commands.iter()).filter(|c| c.is_column()).count();
         assert_eq!(cols, 2 * 24);
         // 3 fences per row (one per 8-command window).
         let fences = batches.iter().filter(|b| b.fence_after).count();
@@ -530,11 +521,8 @@ mod tests {
     fn gemv_srw_variant_eliminates_separate_writes() {
         let cfg = PimConfig::with_variant(PimVariant::SimultaneousReadWrite);
         let batches = gemv_batches(64, 0, &vec![1.0; 64], &cfg);
-        let cols: usize = batches
-            .iter()
-            .flat_map(|b| b.commands.iter())
-            .filter(|c| c.is_column())
-            .count();
+        let cols: usize =
+            batches.iter().flat_map(|b| b.commands.iter()).filter(|c| c.is_column()).count();
         assert_eq!(cols, 64, "SRW: one WR per input, no separate SRF loads");
     }
 

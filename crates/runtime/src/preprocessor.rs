@@ -110,9 +110,6 @@ mod tests {
     #[test]
     fn cache_resident_stays_on_host() {
         let h = HostConfig::paper();
-        assert_eq!(
-            Preprocessor::decide(&h, OpKind::Gemv, 1 << 20, 1),
-            ExecutionTarget::Host
-        );
+        assert_eq!(Preprocessor::decide(&h, OpKind::Gemv, 1 << 20, 1), ExecutionTarget::Host);
     }
 }

@@ -21,6 +21,7 @@
 //! dump grf_a|grf_b|srf_m|srf_a UNIT   print a unit's registers
 //! stats                      print PIM channel statistics
 //! trace                      print the recorded command trace
+//! profile                    print recorded metrics (needs profiling on)
 //! # comment / ; comment
 //! ```
 
@@ -28,6 +29,7 @@ use pim_core::asm;
 use pim_core::{conf, LaneVec, PimChannel, PimConfig, PimMode};
 use pim_dram::{BankAddr, Command, CommandSink, Cycle, TimingParams, TracingSink};
 use pim_fp16::F16;
+use pim_obs::Recorder;
 use std::fmt;
 
 /// A script execution error with its 1-based line number.
@@ -52,6 +54,7 @@ impl std::error::Error for ScriptError {}
 pub struct ScriptSession {
     channel: TracingSink<PimChannel>,
     now: Cycle,
+    recorder: Option<Recorder>,
 }
 
 impl Default for ScriptSession {
@@ -69,7 +72,25 @@ impl ScriptSession {
                 4096,
             ),
             now: 0,
+            recorder: None,
         }
+    }
+
+    /// Attaches an in-memory [`Recorder`] to the channel so subsequent
+    /// commands feed the metrics registry and event stream; idempotent.
+    /// Returns a clone of the session's recorder.
+    pub fn enable_profiling(&mut self) -> Recorder {
+        if self.recorder.is_none() {
+            let recorder = Recorder::vec();
+            self.channel.inner_mut().set_recorder(recorder.clone(), 0);
+            self.recorder = Some(recorder);
+        }
+        self.recorder.clone().expect("just set")
+    }
+
+    /// The session recorder, if profiling is enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
     }
 
     /// The current cycle.
@@ -191,11 +212,11 @@ impl ScriptSession {
                     let col: u32 = parse(rest[2], line)?;
                     let vals = parse_floats(&rest[3..], 16, line)?;
                     let bank = BankAddr::from_flat_index(2 * unit);
-                    self.channel
-                        .inner_mut()
-                        .dram_mut()
-                        .bank_mut(bank)
-                        .poke_block(row, col, &LaneVec::from_f32(vals).to_block());
+                    self.channel.inner_mut().dram_mut().bank_mut(bank).poke_block(
+                        row,
+                        col,
+                        &LaneVec::from_f32(vals).to_block(),
+                    );
                 }
                 "peek" => {
                     if rest.len() != 3 {
@@ -294,6 +315,21 @@ impl ScriptSession {
                 "trace" => {
                     out.push(self.channel.render());
                 }
+                "profile" => match &self.recorder {
+                    None => out.push(
+                        "profiling disabled (enable_profiling() / pimsim --profile)".to_string(),
+                    ),
+                    Some(r) => {
+                        let snapshot = r.metrics();
+                        for (name, v) in snapshot.registry.counters() {
+                            out.push(format!("{name} = {v}"));
+                        }
+                        for (name, v) in snapshot.registry.gauges() {
+                            out.push(format!("{name} = {v}"));
+                        }
+                        out.push(format!("events = {}", r.events_offered()));
+                    }
+                },
                 other => return err(line, format!("unknown command `{other}`")),
             }
         }
@@ -389,6 +425,26 @@ stats
         let e = ScriptSession::new().run("mode ab\nprogram\nBOGUS\nend\n").unwrap_err();
         assert!(e.message.contains("BOGUS"));
         assert!(e.line >= 3, "line {}", e.line);
+    }
+
+    #[test]
+    fn profile_command_reports_metrics_when_enabled() {
+        let mut off = ScriptSession::new();
+        let out = off.run("profile").unwrap();
+        assert!(out.iter().any(|l| l.contains("profiling disabled")), "{out:?}");
+
+        let mut s = ScriptSession::new();
+        let rec = s.enable_profiling();
+        let out = s.run(DEMO).unwrap();
+        assert!(out.iter().any(|l| l.contains("peek")), "{out:?}");
+        let out = s.run("profile").unwrap();
+        // The demo walks SB -> AB -> AB-PIM and back: 4 transitions.
+        assert!(out.iter().any(|l| l == "dev.mode_transitions = 4"), "{out:?}");
+        assert!(out.iter().any(|l| l.starts_with("dev.pim_triggers = ")), "{out:?}");
+        assert_eq!(rec.metrics().registry.counter("dev.mode_transitions"), 4);
+        // Enabling twice hands back the same recorder.
+        let again = s.enable_profiling();
+        assert_eq!(again.metrics().registry.counter("dev.mode_transitions"), 4);
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl VirtualMapping {
     pub fn translate(&self, vaddr: u64) -> Result<u64, VmemError> {
         let vpage = vaddr / PAGE_BYTES;
         let off = vaddr % PAGE_BYTES;
-        self.pages
-            .get(&vpage)
-            .map(|pp| pp * PAGE_BYTES + off)
-            .ok_or(VmemError::Unmapped { vaddr })
+        self.pages.get(&vpage).map(|pp| pp * PAGE_BYTES + off).ok_or(VmemError::Unmapped { vaddr })
     }
 
     /// Verifies the driver's invariant over a buffer: every page present

@@ -35,9 +35,11 @@ fn main() {
     //    row 0, column 0 (normal host writes / DMA before the kernel).
     for u in 0..8 {
         let vals: [f32; 16] = std::array::from_fn(|l| (u as f32 + 1.0) * (l as f32 - 8.0));
-        ch.dram_mut()
-            .bank_mut(BankAddr::from_flat_index(2 * u))
-            .poke_block(0, 0, &LaneVec::from_f32(vals).to_block());
+        ch.dram_mut().bank_mut(BankAddr::from_flat_index(2 * u)).poke_block(
+            0,
+            0,
+            &LaneVec::from_f32(vals).to_block(),
+        );
     }
 
     // 2. Enter all-bank mode: ACT + PRE on the ABMR row. Standard commands.

@@ -49,8 +49,7 @@ fn scrub_pass_corrects_a_flipped_bit_before_pim_runs() {
     // (with 256 elements, the 16 x blocks land on channels 0-15, unit 0).
     let victim = (1usize, 0usize, 0u32);
     let bank = BankAddr::from_flat_index(2 * victim.1);
-    let mut corrupted =
-        ctx.sys.channel(victim.0).sink().dram().bank(bank).peek_block(0, victim.2);
+    let mut corrupted = ctx.sys.channel(victim.0).sink().dram().bank(bank).peek_block(0, victim.2);
     corrupted[3] ^= 1 << 5;
     ctx.sys
         .channel_mut(victim.0)

@@ -72,9 +72,7 @@ fn lstm_cell_matches_host_reference() {
         (0..rows)
             .map(|r| {
                 (0..cols)
-                    .map(|c| {
-                        F16::from_f32(w[r * cols + c]).to_f32() * F16::from_f32(v[c]).to_f32()
-                    })
+                    .map(|c| F16::from_f32(w[r * cols + c]).to_f32() * F16::from_f32(v[c]).to_f32())
                     .sum::<f32>()
             })
             .collect()

@@ -6,11 +6,11 @@
 //! running alone.
 
 use pim_core::isa::Instruction;
+use pim_core::LaneVec;
 use pim_dram::Cycle;
 use pim_host::{Batch, ExecutionMode, KernelEngine};
 use pim_runtime::kernels::{stream_batches, stream_microkernel};
 use pim_runtime::{Executor, PimContext, StreamOp};
-use pim_core::LaneVec;
 
 /// Builds the full choreography for a 1-row stream kernel.
 fn kernel(op: StreamOp, ctx: &PimContext) -> Vec<Batch> {

@@ -1,0 +1,200 @@
+//! Full-stack observability tests: a profiled GEMV must light up every
+//! instrumented layer (engine fences, controller row classification, device
+//! mode transitions, bank residency), nest its spans op → batch → command,
+//! export valid Chrome trace JSON — and change nothing about the simulated
+//! cycles (zero observer effect).
+
+use pim_bench::profile::{profile_gemv, render_profile};
+use pim_obs::{check_nesting, names, Recorder};
+use pim_runtime::{PimBlas, PimContext};
+
+fn gemv_inputs(n: usize, k: usize) -> (Vec<f32>, Vec<f32>) {
+    let w = (0..n * k).map(|i| ((i * 7 % 41) as f32 - 20.0) / 32.0).collect();
+    let x = (0..k).map(|i| ((i * 3 % 17) as f32 - 8.0) / 16.0).collect();
+    (w, x)
+}
+
+#[test]
+fn profiled_gemv_reaches_every_layer() {
+    let run = profile_gemv(96, 256).expect("gemv");
+    let m = run.recorder.metrics().registry;
+
+    // Host engine: fenced execution must stall on fences.
+    assert!(m.counter(names::ENGINE_FENCES) > 0);
+    assert!(m.counter(names::ENGINE_FENCE_STALL_CYCLES) > 0, "fences must cost cycles");
+    assert_eq!(m.counter(names::ENGINE_FENCES), run.report.fences);
+
+    // Controller: a multi-row GEMV reopens rows on the raw PIM path.
+    assert!(m.counter(names::CTRL_RAW_COMMANDS) > 0);
+    assert!(m.counter(names::CTRL_ROW_CONFLICT) > 0, "multi-row GEMV must conflict");
+    assert!(m.counter(names::CTRL_ROW_HIT) > 0);
+
+    // Device: SB -> AB -> AB-PIM round trips and triggers.
+    assert!(m.counter(names::DEV_MODE_TRANSITIONS) >= 4);
+    assert_eq!(m.counter(names::DEV_PIM_TRIGGERS), run.report.pim_triggers);
+    assert!(m.counter(names::DEV_CRF_LOADS) > 0);
+
+    // Banks: residency gauges cover open and closed time.
+    let open = m.gauge(names::BANK_OPEN_CYCLES).expect("open gauge");
+    let closed = m.gauge(names::BANK_CLOSED_CYCLES).expect("closed gauge");
+    assert!(open > 0.0 && closed > 0.0);
+
+    // The rendered table carries the acceptance-criteria lines.
+    let table = render_profile(&run.recorder.metrics());
+    for needle in ["row hit rate", "fence stall cycles", "bank open cycles", "bank closed cycles"] {
+        assert!(table.contains(needle), "missing `{needle}` in:\n{table}");
+    }
+}
+
+#[test]
+fn event_stream_nests_op_kernel_command_three_deep() {
+    let run = profile_gemv(64, 128).expect("gemv");
+    let events = run.recorder.events().expect("vec sink retains events");
+    assert!(!events.is_empty());
+
+    // Spans balance per scope with monotone timestamps, and the deepest
+    // nesting reaches op -> batch -> command (>= 3 levels).
+    let depth = check_nesting(&events).expect("events must nest");
+    assert!(depth >= 3, "nesting depth {depth} < 3");
+
+    // All three categories appear in one stream.
+    for cat in [names::CAT_OP, names::CAT_BATCH, names::CAT_COMMAND, names::CAT_MODE] {
+        assert!(events.iter().any(|e| e.cat == cat), "no `{cat}` events");
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json() {
+    let run = profile_gemv(32, 64).expect("gemv");
+    let events = run.recorder.events().expect("events");
+    let json = pim_obs::chrome::chrome_trace_json(&events);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    check_json_syntax(&json).expect("chrome trace must be syntactically valid JSON");
+}
+
+/// Zero observer effect: the same workload must produce identical results
+/// and identical cycle counts whether no recorder, a counting recorder, or
+/// a retaining recorder is attached.
+#[test]
+fn instrumentation_has_zero_observer_effect() {
+    let (n, k) = (80, 96);
+    let (w, x) = gemv_inputs(n, k);
+
+    let mut plain = PimContext::small_system();
+    let (y0, r0) = PimBlas::gemv(&mut plain, &w, n, k, &x).unwrap();
+
+    let mut counted = PimContext::small_system();
+    counted.enable_profiling(Recorder::counting());
+    let (y1, r1) = PimBlas::gemv(&mut counted, &w, n, k, &x).unwrap();
+
+    let mut recorded = PimContext::small_system();
+    recorded.enable_profiling(Recorder::vec());
+    let (y2, r2) = PimBlas::gemv(&mut recorded, &w, n, k, &x).unwrap();
+
+    assert_eq!(y0, y1);
+    assert_eq!(y0, y2);
+    assert_eq!(r0.cycles, r1.cycles, "counting sink changed cycle counts");
+    assert_eq!(r0.cycles, r2.cycles, "vec sink changed cycle counts");
+    assert_eq!(r0.commands, r1.commands);
+    assert_eq!(plain.sys.max_now(), counted.sys.max_now());
+    assert_eq!(plain.sys.max_now(), recorded.sys.max_now());
+}
+
+/// A minimal recursive-descent JSON syntax checker — enough to validate the
+/// exporter's output without pulling in a JSON dependency.
+fn check_json_syntax(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => parse_seq(b, i, b'}', true),
+        Some(b'[') => parse_seq(b, i, b']', false),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, "true"),
+        Some(b'f') => parse_lit(b, i, "false"),
+        Some(b'n') => parse_lit(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            *i += 1;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                *i += 1;
+            }
+            Ok(())
+        }
+        other => Err(format!("unexpected {other:?} at byte {i}")),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {i}"))
+    }
+}
+
+fn parse_seq(b: &[u8], i: &mut usize, close: u8, keyed: bool) -> Result<(), String> {
+    *i += 1; // opening bracket
+    skip_ws(b, i);
+    if b.get(*i) == Some(&close) {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        if keyed {
+            skip_ws(b, i);
+            parse_string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected `:` at byte {i}"));
+            }
+            *i += 1;
+        }
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(c) if *c == close => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected `,` or close, got {other:?} at byte {i}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => *i += 2,
+            0x00..=0x1f => return Err(format!("raw control char at byte {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}

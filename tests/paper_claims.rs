@@ -163,10 +163,7 @@ fn claim_ab_mode_ignores_bank_address() {
             ch.issue(&cmd, at).unwrap();
             now = at;
         }
-        for cmd in [
-            Command::Act { bank, row: 6 },
-            Command::Wr { bank, col: 3, data: [0x77; 32] },
-        ] {
+        for cmd in [Command::Act { bank, row: 6 }, Command::Wr { bank, col: 3, data: [0x77; 32] }] {
             let at = ch.earliest_issue(&cmd, now);
             ch.issue(&cmd, at).unwrap();
             now = at;

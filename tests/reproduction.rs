@@ -87,9 +87,7 @@ fn fig11_power_and_energy_headlines() {
 #[test]
 fn fig12_energy_efficiency_bands() {
     let rows = experiments::fig12();
-    let gain = |name: &str| {
-        rows.iter().find(|r| r.name == name).unwrap().pim_efficiency_gain()
-    };
+    let gain = |name: &str| rows.iter().find(|r| r.name == name).unwrap().pim_efficiency_gain();
     // "For GEMV, PIM-HBM gives 8.25× higher energy efficiency".
     assert!((7.0..11.0).contains(&gain("GEMV")), "GEMV {}", gain("GEMV"));
     // "ADD ... 1.4× improvement".
@@ -130,31 +128,19 @@ fn fig14_variant_ordering_and_bands() {
     // 2BA: ~+20% in the paper, driven by ADD.
     let tba = g("PIM-HBM-2BA") / base;
     assert!((1.05..1.3).contains(&tba), "2BA gain {tba}");
-    let add_base = rows
-        .iter()
-        .find(|r| r.variant == "PIM-HBM" && r.workload == "ADD4")
-        .unwrap()
-        .speedup;
-    let add_tba = rows
-        .iter()
-        .find(|r| r.variant == "PIM-HBM-2BA" && r.workload == "ADD4")
-        .unwrap()
-        .speedup;
+    let add_base =
+        rows.iter().find(|r| r.variant == "PIM-HBM" && r.workload == "ADD4").unwrap().speedup;
+    let add_tba =
+        rows.iter().find(|r| r.variant == "PIM-HBM-2BA" && r.workload == "ADD4").unwrap().speedup;
     assert!(add_tba / add_base > 1.3, "2BA is 'useful especially for ADD'");
     // SRW: a GEMV-side gain (paper +25% GEMV / +10% geo; our baseline GEMV
     // is already operand-stream efficient, so the gain is smaller).
     let srw = g("PIM-HBM-SRW") / base;
     assert!((1.0..1.2).contains(&srw), "SRW gain {srw}");
-    let gemv_base = rows
-        .iter()
-        .find(|r| r.variant == "PIM-HBM" && r.workload == "GEMV4")
-        .unwrap()
-        .speedup;
-    let gemv_srw = rows
-        .iter()
-        .find(|r| r.variant == "PIM-HBM-SRW" && r.workload == "GEMV4")
-        .unwrap()
-        .speedup;
+    let gemv_base =
+        rows.iter().find(|r| r.variant == "PIM-HBM" && r.workload == "GEMV4").unwrap().speedup;
+    let gemv_srw =
+        rows.iter().find(|r| r.variant == "PIM-HBM-SRW" && r.workload == "GEMV4").unwrap().speedup;
     assert!(gemv_srw > gemv_base, "SRW must help GEMV");
     // Ordering: 2x >= 2BA >= SRW >= base (the paper's Fig. 14 ordering).
     assert!(g("PIM-HBM-2x") >= g("PIM-HBM-2BA"));
