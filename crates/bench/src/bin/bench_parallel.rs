@@ -1,0 +1,73 @@
+//! Sweeps the threaded execution backend over worker counts and emits
+//! `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p pim-bench --bin bench_parallel -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs the small CI configuration (completes in a few seconds);
+//! the default is the full configuration behind the committed numbers.
+//! `--out` redirects the JSON document (default `BENCH_parallel.json`).
+
+use pim_bench::parallel::{run_bench, BenchParams};
+use pim_bench::report::format_table;
+
+fn main() {
+    let mut out_path = String::from("BENCH_parallel.json");
+    let mut params = BenchParams::full();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => params = BenchParams::smoke(),
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (expected --smoke / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("host parallelism: {host_parallelism} (speedup is bounded by this)");
+
+    let (doc, sweeps) = run_bench(params);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for s in &sweeps {
+        rows.push(vec![
+            s.name.clone(),
+            "seq".to_string(),
+            format!("{:.3}", s.sequential.wall_s),
+            "1.00".to_string(),
+            "-".to_string(),
+        ]);
+        for (w, m, identical) in &s.points {
+            rows.push(vec![
+                s.name.clone(),
+                format!("{w}"),
+                format!("{:.3}", m.wall_s),
+                format!("{:.2}", s.sequential.wall_s / m.wall_s.max(1e-12)),
+                if *identical { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    println!("{}", format_table(&["workload", "workers", "wall s", "speedup", "identical"], &rows));
+
+    let diverged = sweeps.iter().flat_map(|s| s.points.iter()).any(|(_, _, identical)| !identical);
+
+    std::fs::write(&out_path, pim_bench::json::to_string(&doc) + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+
+    if diverged {
+        eprintln!("FAIL: a threaded run diverged from the sequential reference");
+        std::process::exit(1);
+    }
+}

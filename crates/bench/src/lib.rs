@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod micro;
+pub mod parallel;
 pub mod profile;
 pub mod report;
 pub mod workloads;

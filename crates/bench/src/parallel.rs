@@ -1,0 +1,420 @@
+//! Wall-clock benchmarks for the parallel execution backend, and the
+//! machine-portable perf-regression gate built on them.
+//!
+//! Two workloads:
+//!
+//! * **synthetic64** — 64 channels × N seeded batches driven straight
+//!   through [`KernelEngine::run_system`]; embarrassingly parallel, no
+//!   host-side work between kernels, so it measures the backend's fan-out
+//!   ceiling.
+//! * **Table VI GEMV** — the paper's GEMV1 through the full PIM-BLAS
+//!   runtime (layout, choreography, readback), measuring what the backend
+//!   buys a real kernel end to end.
+//!
+//! The perf gate never compares absolute wall time across machines: a CI
+//! runner and a developer laptop differ by integer factors. Instead every
+//! measurement is normalized by a **calibration score** — the throughput of
+//! a fixed, simulator-independent integer workload ([`calibrate`]) measured
+//! in the same process seconds before. Simulated cycles per host-work-unit
+//! is a machine-portable quantity; a >20% drop means the *simulator code*
+//! got slower, not the machine.
+
+use crate::json::{obj, Json};
+use pim_core::PimConfig;
+use pim_dram::{BankAddr, Command};
+use pim_host::{Batch, ExecutionBackend, ExecutionMode, HostConfig, KernelEngine, PimSystem};
+use pim_runtime::{PimBlas, PimContext};
+use std::time::Instant;
+
+/// One timed `run_system` invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMeasurement {
+    /// Host wall-clock seconds.
+    pub wall_s: f64,
+    /// Process CPU seconds (user + system) consumed by the run; equals
+    /// `wall_s` on platforms without [`cpu_time_s`].
+    pub cpu_s: f64,
+    /// Simulated end cycle (deterministic).
+    pub end_cycle: u64,
+    /// DRAM commands issued (deterministic).
+    pub commands: u64,
+    /// Fences executed (deterministic).
+    pub fences: u64,
+}
+
+impl RunMeasurement {
+    /// Simulated cycles advanced per host wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.end_cycle as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated cycles advanced per process CPU second — immune to
+    /// preemption by other processes, which is why the perf gate uses it.
+    pub fn cycles_per_cpu_sec(&self) -> f64 {
+        if self.cpu_s > 0.0 {
+            self.end_cycle as f64 / self.cpu_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Process CPU time (user + system) in seconds, read from
+/// `/proc/self/stat`; `None` where that file does not exist (non-Linux).
+///
+/// Resolution is one scheduler tick (typically 10 ms), so only differences
+/// over runs of a few hundred milliseconds are meaningful. The tick rate is
+/// assumed to be the near-universal 100 Hz; a different rate scales every
+/// CPU-time measurement in the process equally, so it cancels out of the
+/// perf gate's normalized (workload ÷ calibration) ratio.
+pub fn cpu_time_s() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field (2nd) may itself contain spaces and parens; the state
+    // field (3rd) starts after the LAST ')'.
+    let rest = stat.rsplit(')').next()?;
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// Wall + CPU stopwatch for one measurement.
+struct Stopwatch {
+    wall: Instant,
+    cpu: Option<f64>,
+}
+
+impl Stopwatch {
+    fn start() -> Stopwatch {
+        Stopwatch { wall: Instant::now(), cpu: cpu_time_s() }
+    }
+
+    /// `(wall_s, cpu_s)`; CPU falls back to wall where unavailable.
+    fn stop(self) -> (f64, f64) {
+        let wall_s = self.wall.elapsed().as_secs_f64();
+        let cpu_s = match (self.cpu, cpu_time_s()) {
+            (Some(a), Some(b)) => b - a,
+            _ => wall_s,
+        };
+        (wall_s, cpu_s)
+    }
+}
+
+/// A deterministic xorshift64* stream — the benches can't use `rand` (it is
+/// a dev-dependency only) and the calibration loop wants fixed,
+/// optimizer-resistant integer work anyway.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the stream (0 is remapped — xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    /// Next pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Builds the seeded synthetic workload: `channels` batch lists, each
+/// `batches_per_channel` fenced 8-read batches bracketed by row management,
+/// over pseudo-random (bank, row) pairs.
+///
+/// Fully deterministic in `(channels, batches_per_channel, seed)`: the
+/// generator never consults the clock or the thread, so the same arguments
+/// describe the same kernel on every machine — the property the perf gate's
+/// exact cycle/command comparison rests on.
+pub fn synthetic_batches(
+    channels: usize,
+    batches_per_channel: usize,
+    seed: u64,
+) -> Vec<Vec<Batch>> {
+    (0..channels)
+        .map(|ch| {
+            let mut rng = XorShift64::new(seed ^ (ch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut batches = Vec::with_capacity(batches_per_channel * 3);
+            for _ in 0..batches_per_channel {
+                let r = rng.next_u64();
+                let bank = BankAddr::new((r & 3) as u8, ((r >> 2) & 3) as u8);
+                let row = ((r >> 4) & 0x1FFF) as u32;
+                batches.push(Batch::setup(vec![Command::Act { bank, row }]));
+                batches.push(Batch::commutative(
+                    (0..8).map(|c| Command::Rd { bank, col: c }).collect(),
+                ));
+                batches.push(Batch::setup(vec![Command::Pre { bank }]));
+            }
+            batches
+        })
+        .collect()
+}
+
+/// Runs `per_channel` on a fresh paper system under `backend`; returns the
+/// timed measurement.
+pub fn measure_run_system(backend: ExecutionBackend, per_channel: &[Vec<Batch>]) -> RunMeasurement {
+    let mut sys = PimSystem::new(HostConfig::paper(), PimConfig::paper());
+    sys.set_backend(backend);
+    let watch = Stopwatch::start();
+    let r = KernelEngine::run_system(&mut sys, per_channel, ExecutionMode::Ordered);
+    let (wall_s, cpu_s) = watch.stop();
+    RunMeasurement { wall_s, cpu_s, end_cycle: r.end_cycle, commands: r.commands, fences: r.fences }
+}
+
+/// Runs the Table VI GEMV1 (scaled down by `scale`) through the full
+/// PIM-BLAS runtime on a fresh paper system under `backend`.
+pub fn measure_gemv(backend: ExecutionBackend, scale: usize) -> RunMeasurement {
+    let wl = crate::workloads::gemv_workloads()[0];
+    let (n, k) = ((wl.n / scale.max(1)).max(1), (wl.k / scale.max(1)).max(1));
+    let mut ctx = PimContext::paper_system();
+    ctx.set_backend(backend);
+    let w: Vec<f32> = (0..n * k).map(|i| ((i * 7 % 41) as f32 - 20.0) / 32.0).collect();
+    let x: Vec<f32> = (0..k).map(|i| ((i * 3 % 17) as f32 - 8.0) / 16.0).collect();
+    let watch = Stopwatch::start();
+    let (_y, report) = PimBlas::gemv(&mut ctx, &w, n, k, &x).expect("bench GEMV");
+    let (wall_s, cpu_s) = watch.stop();
+    RunMeasurement {
+        wall_s,
+        cpu_s,
+        end_cycle: report.cycles,
+        commands: report.commands,
+        fences: report.fences,
+    }
+}
+
+/// Measures the host's raw integer throughput (iterations/second of a fixed
+/// xorshift64* loop) — the machine-speed normalizer for the perf gate.
+///
+/// The loop is simulator-independent on purpose: normalizing a simulator
+/// measurement by *another simulator measurement* would cancel out real
+/// code regressions, while normalizing by fixed integer work only cancels
+/// the machine.
+pub fn calibrate(iterations: u64) -> CalibrationScore {
+    let mut rng = XorShift64::new(0xC0FF_EE00_DEAD_BEEF);
+    let watch = Stopwatch::start();
+    let mut acc = 0u64;
+    for _ in 0..iterations {
+        acc = acc.wrapping_add(rng.next_u64());
+    }
+    let (wall_s, cpu_s) = watch.stop();
+    std::hint::black_box(acc);
+    CalibrationScore {
+        iters_per_sec: iterations as f64 / wall_s.max(1e-9),
+        iters_per_cpu_sec: iterations as f64 / cpu_s.max(1e-9),
+    }
+}
+
+/// The host-speed score [`calibrate`] produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationScore {
+    /// Calibration iterations per wall-clock second.
+    pub iters_per_sec: f64,
+    /// Calibration iterations per process CPU second.
+    pub iters_per_cpu_sec: f64,
+}
+
+/// One workload's sweep over worker counts.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Workload label.
+    pub name: String,
+    /// Channels driven.
+    pub channels: usize,
+    /// The sequential reference.
+    pub sequential: RunMeasurement,
+    /// `(workers, measurement, deterministic-result-identical)` per point.
+    pub points: Vec<(usize, RunMeasurement, bool)>,
+}
+
+impl SweepResult {
+    /// Speedup of the `workers`-thread point over sequential.
+    pub fn speedup(&self, workers: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(w, _, _)| *w == workers)
+            .map(|(_, m, _)| self.sequential.wall_s / m.wall_s.max(1e-12))
+    }
+
+    /// Renders this sweep as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let sweep: Vec<Json> = self
+            .points
+            .iter()
+            .map(|(w, m, identical)| {
+                obj([
+                    ("workers", Json::Num(*w as f64)),
+                    ("wall_s", Json::Num(m.wall_s)),
+                    ("cycles_per_sec", Json::Num(m.cycles_per_sec())),
+                    ("speedup", Json::Num(self.sequential.wall_s / m.wall_s.max(1e-12))),
+                    ("identical_to_sequential", Json::Bool(*identical)),
+                ])
+            })
+            .collect();
+        obj([
+            ("name", Json::Str(self.name.clone())),
+            ("channels", Json::Num(self.channels as f64)),
+            ("sim_cycles", Json::Num(self.sequential.end_cycle as f64)),
+            ("commands", Json::Num(self.sequential.commands as f64)),
+            ("fences", Json::Num(self.sequential.fences as f64)),
+            ("sequential_wall_s", Json::Num(self.sequential.wall_s)),
+            ("sequential_cycles_per_sec", Json::Num(self.sequential.cycles_per_sec())),
+            ("sweep", Json::Arr(sweep)),
+        ])
+    }
+}
+
+/// Sweeps `worker_counts` over one measurement function, checking each
+/// point's deterministic fields against the sequential reference.
+pub fn sweep(
+    name: &str,
+    channels: usize,
+    worker_counts: &[usize],
+    mut measure: impl FnMut(ExecutionBackend) -> RunMeasurement,
+) -> SweepResult {
+    let sequential = measure(ExecutionBackend::Sequential);
+    let points = worker_counts
+        .iter()
+        .map(|&w| {
+            let m = measure(ExecutionBackend::Threads(w));
+            let identical = m.end_cycle == sequential.end_cycle
+                && m.commands == sequential.commands
+                && m.fences == sequential.fences;
+            (w, m, identical)
+        })
+        .collect();
+    SweepResult { name: name.to_string(), channels, sequential, points }
+}
+
+/// The parameters of one benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchParams {
+    /// Batches per channel in the synthetic workload.
+    pub synthetic_batches: usize,
+    /// Table VI GEMV1 scale divisor.
+    pub gemv_scale: usize,
+    /// Calibration loop iterations.
+    pub calibration_iters: u64,
+    /// Worker counts to sweep.
+    pub worker_counts: [usize; 3],
+}
+
+impl BenchParams {
+    /// The CI smoke configuration: completes in well under 10 s of
+    /// simulator work on a laptop-class core.
+    pub fn smoke() -> BenchParams {
+        BenchParams {
+            synthetic_batches: 400,
+            gemv_scale: 8,
+            calibration_iters: 50_000_000,
+            worker_counts: [2, 4, 8],
+        }
+    }
+
+    /// The full configuration for committed numbers: the unscaled Table VI
+    /// GEMV1 and a ~half-second sequential synthetic run.
+    pub fn full() -> BenchParams {
+        BenchParams {
+            synthetic_batches: 16_000,
+            gemv_scale: 1,
+            calibration_iters: 200_000_000,
+            worker_counts: [2, 4, 8],
+        }
+    }
+}
+
+/// Runs the complete benchmark (calibration + both sweeps) and renders the
+/// `BENCH_parallel.json` document.
+pub fn run_bench(params: BenchParams) -> (Json, Vec<SweepResult>) {
+    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let calibration = calibrate(params.calibration_iters).iters_per_sec;
+    let per_channel = synthetic_batches(64, params.synthetic_batches, 0x5EED);
+    let synthetic = sweep("synthetic64", 64, &params.worker_counts, |backend| {
+        measure_run_system(backend, &per_channel)
+    });
+    let gemv = sweep("GEMV1", 64, &params.worker_counts, |backend| {
+        measure_gemv(backend, params.gemv_scale)
+    });
+    let doc = obj([
+        ("schema", Json::Str("pim-bench/parallel-v1".to_string())),
+        ("host_parallelism", Json::Num(host_parallelism as f64)),
+        ("calibration_score", Json::Num(calibration)),
+        ("workloads", Json::Arr(vec![synthetic.to_json(), gemv.to_json()])),
+    ]);
+    (doc, vec![synthetic, gemv])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_workload_is_deterministic() {
+        let a = synthetic_batches(4, 3, 42);
+        let b = synthetic_batches(4, 3, 42);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].len(), 9);
+        for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+            assert_eq!(x.commands, y.commands);
+        }
+        // Different channels get different rows.
+        assert_ne!(format!("{:?}", a[0][0].commands), format!("{:?}", a[1][0].commands));
+    }
+
+    #[test]
+    fn measured_sweep_is_identical_across_backends() {
+        let per_channel = synthetic_batches(8, 4, 7);
+        let s = sweep("t", 8, &[2, 4], |b| measure_run_system(b, &per_channel));
+        for (w, m, identical) in &s.points {
+            assert!(*identical, "{w} workers diverged: {m:?} vs {:?}", s.sequential);
+        }
+        assert!(s.sequential.end_cycle > 0);
+        assert!(s.sequential.commands == 8 * 4 * 10);
+    }
+
+    #[test]
+    fn calibration_is_positive() {
+        let score = calibrate(100_000);
+        assert!(score.iters_per_sec > 0.0);
+        assert!(score.iters_per_cpu_sec > 0.0);
+    }
+
+    #[test]
+    fn cpu_time_is_monotonic_where_available() {
+        if let Some(a) = cpu_time_s() {
+            // Burn a little CPU; the clock must not go backwards.
+            let mut rng = XorShift64::new(1);
+            for _ in 0..200_000 {
+                std::hint::black_box(rng.next_u64());
+            }
+            let b = cpu_time_s().expect("stays available");
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn bench_json_shape_parses_back() {
+        let params = BenchParams {
+            synthetic_batches: 2,
+            gemv_scale: 64,
+            calibration_iters: 10_000,
+            worker_counts: [2, 4, 8],
+        };
+        let (doc, sweeps) = run_bench(params);
+        let text = crate::json::to_string(&doc);
+        let parsed = crate::json::parse(&text).expect("bench emits valid JSON");
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some("pim-bench/parallel-v1"));
+        assert_eq!(parsed.get("workloads").unwrap().as_arr().unwrap().len(), 2);
+        assert!(sweeps.iter().all(|s| s.points.iter().all(|(_, _, ok)| *ok)));
+    }
+}

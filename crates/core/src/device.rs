@@ -204,6 +204,12 @@ impl PimChannel {
         self.recorder.as_ref()
     }
 
+    /// The system-level channel index stamped into event scopes (0 unless
+    /// set by [`PimChannel::set_recorder`]).
+    pub fn channel_id(&self) -> u16 {
+        self.channel_id
+    }
+
     /// Current operating mode.
     pub fn mode(&self) -> PimMode {
         self.mode

@@ -58,7 +58,12 @@ pub struct IssueOutcome {
 /// wraps a channel in a PIM device model that implements the same trait, so
 /// the unmodified [`crate::MemoryController`] drives both — which is exactly
 /// the drop-in-replacement property the paper demonstrates.
-pub trait CommandSink {
+///
+/// `Send` is a supertrait: each pseudo channel owns its sink exclusively and
+/// the host's parallel execution backend moves whole controllers (sink
+/// included) onto worker threads. Sinks hold only per-channel state, so
+/// migration is safe by construction.
+pub trait CommandSink: Send {
     /// The earliest cycle at or after `now` at which `cmd` could legally
     /// issue, ignoring state errors (those surface from `issue`).
     fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Cycle;

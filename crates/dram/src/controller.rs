@@ -740,4 +740,13 @@ mod tests {
         // 256 bytes in: maps to pCH 1.
         c.enqueue(Request::read(256));
     }
+
+    #[test]
+    fn controller_is_send() {
+        // The parallel execution backend moves whole controllers onto
+        // scoped worker threads; this fails to compile if any field (sink,
+        // recorder, queue) regresses to a thread-bound type.
+        fn assert_send<T: Send>() {}
+        assert_send::<MemoryController<PseudoChannel>>();
+    }
 }

@@ -70,7 +70,7 @@ pub use command::{BankAddr, Command, DataBlock, DATA_BLOCK_BYTES};
 pub use controller::{ControllerConfig, MemoryController, PagePolicy, SchedulingPolicy};
 pub use mapping::{AddressMapping, DecodedAddr};
 pub use request::{CompletedRequest, Request, RequestKind};
-pub use stack::HbmStack;
+pub use stack::{merge_runs, HbmStack};
 pub use stats::{ChannelStats, ControllerStats};
 pub use timing::{Cycle, TimingParams};
 pub use trace::{TraceEntry, TracingSink};

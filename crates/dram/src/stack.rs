@@ -73,17 +73,10 @@ impl<S: CommandSink> HbmStack<S> {
     ///
     /// Channels run in parallel in real hardware; the returned `finish`
     /// cycle is the max over channels, which is the system-level latency.
+    /// The reduction goes through [`merge_runs`] so it is the exact same
+    /// code regardless of how the per-channel drains were ordered.
     pub fn run_all(&mut self) -> (Vec<CompletedRequest>, Cycle) {
-        let mut done = Vec::new();
-        let mut finish = 0;
-        for c in &mut self.controllers {
-            let d = c.run_to_completion();
-            if let Some(last) = d.iter().map(|r| r.completed_at).max() {
-                finish = finish.max(last);
-            }
-            done.extend(d);
-        }
-        (done, finish)
+        merge_runs(self.controllers.iter_mut().map(|c| c.run_to_completion()))
     }
 
     /// Synchronizes all channels' local clocks to the latest one — a global
@@ -95,6 +88,28 @@ impl<S: CommandSink> HbmStack<S> {
         }
         now
     }
+}
+
+/// Folds per-channel completion lists (in stable channel-index order) into
+/// one completion vector plus the system-level finish cycle (max of the
+/// per-channel last completions).
+///
+/// This is the single reduction used for channel-level fan-in: sequential
+/// drains ([`HbmStack::run_all`]) and any parallel driver that collects
+/// per-channel results must feed this helper in channel-index order, so the
+/// merged output is identical no matter where each channel actually ran.
+pub fn merge_runs(
+    per_channel: impl IntoIterator<Item = Vec<CompletedRequest>>,
+) -> (Vec<CompletedRequest>, Cycle) {
+    let mut done = Vec::new();
+    let mut finish = 0;
+    for d in per_channel {
+        if let Some(last) = d.iter().map(|r| r.completed_at).max() {
+            finish = finish.max(last);
+        }
+        done.extend(d);
+    }
+    (done, finish)
 }
 
 #[cfg(test)]

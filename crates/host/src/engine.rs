@@ -119,6 +119,30 @@ pub struct KernelResult {
     pub fences: u64,
 }
 
+impl KernelResult {
+    /// An empty result — the identity element of [`KernelResult::merged`].
+    pub const ZERO: KernelResult = KernelResult { end_cycle: 0, commands: 0, fences: 0 };
+
+    /// Folds per-channel results into the system-level result: `end_cycle`
+    /// is the max (channels run concurrently — the wall clock is the
+    /// slowest channel's), `commands` and `fences` are sums.
+    ///
+    /// Every channel-level fan-in goes through this one helper — the
+    /// sequential loop, the threaded backend's merge, and any caller
+    /// aggregating [`KernelEngine::run_on_channel`] results — so the
+    /// reduction is the exact same code no matter where each channel ran.
+    /// All three fields are commutative-monoid reductions, but callers
+    /// still feed channel-index order so event-stream merging (which is
+    /// order-sensitive) can share the iteration.
+    pub fn merged(results: impl IntoIterator<Item = KernelResult>) -> KernelResult {
+        results.into_iter().fold(KernelResult::ZERO, |acc, r| KernelResult {
+            end_cycle: acc.end_cycle.max(r.end_cycle),
+            commands: acc.commands + r.commands,
+            fences: acc.fences + r.fences,
+        })
+    }
+}
+
 /// Executes PIM kernels over a [`PimSystem`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KernelEngine;
@@ -252,25 +276,43 @@ impl KernelEngine {
     /// Runs per-channel batch lists across the system concurrently (each
     /// channel advances its own clock); returns the wall-clock result.
     ///
+    /// Which host threads step the channels is decided by the system's
+    /// [`crate::ExecutionBackend`] ([`PimSystem::set_backend`]): the
+    /// sequential reference loop, or the scoped worker pool. Both produce
+    /// identical results, stats, and (merged) event streams — see
+    /// [`crate::parallel`] for why that holds.
+    ///
+    /// Channels beyond `per_channel.len()` run nothing but still advance to
+    /// the closing barrier, exactly as in hardware.
+    ///
     /// # Panics
     ///
-    /// Panics if `per_channel.len()` exceeds the channel count.
+    /// Panics if `per_channel.len()` exceeds the channel count, or if a
+    /// command is illegal for a device's state (a kernel bug; under the
+    /// threaded backend the worker's panic is re-raised on the caller).
     pub fn run_system(
         sys: &mut PimSystem,
         per_channel: &[Vec<Batch>],
         mode: ExecutionMode,
     ) -> KernelResult {
         assert!(per_channel.len() <= sys.channel_count(), "more batch lists than channels");
-        let host = sys.host.clone();
-        let mut commands = 0;
-        let mut fences = 0;
-        for (i, batches) in per_channel.iter().enumerate() {
-            let r = Self::run_on_channel(&host, sys.channel_mut(i), batches, mode);
-            commands += r.commands;
-            fences += r.fences;
+        match sys.backend() {
+            crate::ExecutionBackend::Sequential => {
+                let host = sys.host.clone();
+                let results: Vec<KernelResult> = per_channel
+                    .iter()
+                    .enumerate()
+                    .map(|(i, batches)| {
+                        Self::run_on_channel(&host, sys.channel_mut(i), batches, mode)
+                    })
+                    .collect();
+                let merged = KernelResult::merged(results);
+                KernelResult { end_cycle: sys.barrier(), ..merged }
+            }
+            crate::ExecutionBackend::Threads(n) => {
+                crate::parallel::run_system_threads(sys, per_channel, mode, n)
+            }
         }
-        let end_cycle = sys.barrier();
-        KernelResult { end_cycle, commands, fences }
     }
 }
 
@@ -389,6 +431,127 @@ mod tests {
             ExecutionMode::Fenced { reorder_seed: None },
         );
         assert_eq!(res.end_cycle, res_plain.end_cycle);
+    }
+
+    #[test]
+    fn merged_is_max_end_and_summed_counts() {
+        let r = KernelResult::merged([
+            KernelResult { end_cycle: 10, commands: 3, fences: 1 },
+            KernelResult { end_cycle: 25, commands: 4, fences: 0 },
+            KernelResult { end_cycle: 7, commands: 1, fences: 2 },
+        ]);
+        assert_eq!(r, KernelResult { end_cycle: 25, commands: 8, fences: 3 });
+        assert_eq!(KernelResult::merged([]), KernelResult::ZERO);
+    }
+
+    #[test]
+    fn threaded_backend_matches_sequential() {
+        let per_channel: Vec<Vec<Batch>> = (0..64).map(|_| simple_batches()).collect();
+        let mut seq_sys = system();
+        let seq = KernelEngine::run_system(&mut seq_sys, &per_channel, ExecutionMode::Ordered);
+        for workers in [1, 2, 4, 8] {
+            let mut par_sys = system();
+            par_sys.set_backend(crate::ExecutionBackend::Threads(workers));
+            let par = KernelEngine::run_system(&mut par_sys, &per_channel, ExecutionMode::Ordered);
+            assert_eq!(par, seq, "{workers} workers");
+            for ch in 0..64 {
+                assert_eq!(
+                    par_sys.channel(ch).now(),
+                    seq_sys.channel(ch).now(),
+                    "clock of ch {ch} under {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_lists_run_under_both_backends() {
+        for backend in [crate::ExecutionBackend::Sequential, crate::ExecutionBackend::Threads(4)] {
+            let mut sys = system();
+            sys.set_backend(backend);
+            // Channels 0 and 2 idle, channel 1 works.
+            let per_channel = vec![vec![], simple_batches(), vec![]];
+            let r = KernelEngine::run_system(
+                &mut sys,
+                &per_channel,
+                ExecutionMode::Fenced { reorder_seed: None },
+            );
+            assert_eq!(r.commands, 10, "{backend:?}");
+            assert!(r.end_cycle > 0);
+            // The barrier still aligns every channel, idle ones included.
+            assert_eq!(sys.channel(0).now(), r.end_cycle);
+            assert_eq!(sys.channel(63).now(), r.end_cycle);
+        }
+    }
+
+    #[test]
+    fn no_batch_lists_at_all_is_a_no_op_under_both_backends() {
+        for backend in [crate::ExecutionBackend::Sequential, crate::ExecutionBackend::Threads(2)] {
+            let mut sys = system();
+            sys.set_backend(backend);
+            let r = KernelEngine::run_system(
+                &mut sys,
+                &[],
+                ExecutionMode::Fenced { reorder_seed: None },
+            );
+            assert_eq!(r, KernelResult::ZERO, "{backend:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more batch lists than channels")]
+    fn too_many_batch_lists_panic_sequential() {
+        let mut sys = system();
+        let per_channel: Vec<Vec<Batch>> = (0..65).map(|_| simple_batches()).collect();
+        KernelEngine::run_system(&mut sys, &per_channel, ExecutionMode::Ordered);
+    }
+
+    #[test]
+    #[should_panic(expected = "more batch lists than channels")]
+    fn too_many_batch_lists_panic_threaded() {
+        let mut sys = system();
+        sys.set_backend(crate::ExecutionBackend::Threads(4));
+        let per_channel: Vec<Vec<Batch>> = (0..65).map(|_| simple_batches()).collect();
+        KernelEngine::run_system(&mut sys, &per_channel, ExecutionMode::Ordered);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal")]
+    fn worker_panic_propagates_from_threaded_backend() {
+        let mut sys = system();
+        sys.set_backend(crate::ExecutionBackend::Threads(4));
+        // A column command with no row open is illegal device state — the
+        // worker thread panics and run_system must re-raise it.
+        let bad = vec![Batch::setup(vec![Command::Rd { bank: BankAddr::new(0, 0), col: 0 }])];
+        KernelEngine::run_system(&mut sys, &[bad], ExecutionMode::Ordered);
+    }
+
+    #[test]
+    fn threaded_backend_merges_recorder_streams_identically() {
+        let per_channel: Vec<Vec<Batch>> = (0..8).map(|_| simple_batches()).collect();
+        let run = |backend: crate::ExecutionBackend| {
+            let mut sys = system();
+            sys.set_backend(backend);
+            let rec = Recorder::vec();
+            for ch in 0..8 {
+                sys.channel_mut(ch).set_recorder(rec.clone(), ch as u16);
+            }
+            let r = KernelEngine::run_system(
+                &mut sys,
+                &per_channel,
+                ExecutionMode::Fenced { reorder_seed: None },
+            );
+            (r, rec.events().unwrap(), rec.metrics().registry)
+        };
+        let (seq_r, seq_events, seq_metrics) = run(crate::ExecutionBackend::Sequential);
+        for workers in [2, 4, 8] {
+            let (par_r, par_events, par_metrics) = run(crate::ExecutionBackend::Threads(workers));
+            assert_eq!(par_r, seq_r);
+            assert_eq!(par_events, seq_events, "event streams under {workers} workers");
+            assert_eq!(par_metrics, seq_metrics);
+            // And the recorder is reattached: a later sequential-style use
+            // still records.
+        }
     }
 
     #[test]

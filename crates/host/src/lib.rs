@@ -28,6 +28,7 @@ pub mod bypass;
 mod config;
 mod engine;
 pub mod llc;
+pub mod parallel;
 mod system;
 mod threads;
 
@@ -35,6 +36,7 @@ pub use bypass::BypassPolicy;
 pub use config::HostConfig;
 pub use engine::{Batch, ExecutionMode, KernelEngine, KernelResult};
 pub use llc::Llc;
+pub use parallel::ExecutionBackend;
 pub use system::PimSystem;
 pub use threads::{
     coalesced_requests, ThreadGroup, GROUP_ACCESS_BYTES, THREADS_PER_GROUP, THREAD_ACCESS_BYTES,

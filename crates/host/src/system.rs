@@ -1,6 +1,7 @@
 //! The full evaluation platform: host + 4 PIM-HBM stacks (Section VI).
 
 use crate::config::HostConfig;
+use crate::parallel::ExecutionBackend;
 use pim_core::{PimChannel, PimConfig};
 use pim_dram::{
     AddressMapping, ControllerConfig, Cycle, MemoryController, SchedulingPolicy, TimingParams,
@@ -20,6 +21,9 @@ pub struct PimSystem {
     pim_config: PimConfig,
     timing: TimingParams,
     channels: Vec<MemoryController<PimChannel>>,
+    /// How `KernelEngine::run_system` distributes channels over host
+    /// threads. Defaults to [`ExecutionBackend::Sequential`].
+    backend: ExecutionBackend,
 }
 
 impl PimSystem {
@@ -49,7 +53,19 @@ impl PimSystem {
                 MemoryController::with_sink(cfg, PimChannel::new(timing.clone(), pim.clone()))
             })
             .collect();
-        PimSystem { host, pim_config: pim, timing, channels }
+        PimSystem { host, pim_config: pim, timing, channels, backend: ExecutionBackend::Sequential }
+    }
+
+    /// The execution backend kernels run under.
+    pub fn backend(&self) -> ExecutionBackend {
+        self.backend
+    }
+
+    /// Selects the execution backend. Purely a host-side scheduling choice:
+    /// results, stats, and merged event streams are identical under every
+    /// backend (the determinism contract of [`crate::parallel`]).
+    pub fn set_backend(&mut self, backend: ExecutionBackend) {
+        self.backend = backend;
     }
 
     /// The PIM device configuration.
@@ -75,6 +91,12 @@ impl PimSystem {
     /// Mutable controller access.
     pub fn channel_mut(&mut self, i: usize) -> &mut MemoryController<PimChannel> {
         &mut self.channels[i]
+    }
+
+    /// All controllers as one mutable slice — what the parallel backend
+    /// partitions into disjoint per-worker chunks.
+    pub fn channels_mut(&mut self) -> &mut [MemoryController<PimChannel>] {
+        &mut self.channels
     }
 
     /// The latest local clock across channels.

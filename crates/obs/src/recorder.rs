@@ -4,8 +4,7 @@ use crate::event::{Cycle, Event, Scope};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::sink::{CountingSink, EventSink, RingSink, Sink, VecSink};
 use std::borrow::Cow;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 #[derive(Debug)]
 struct Inner {
@@ -15,23 +14,34 @@ struct Inner {
 
 /// A shared handle to one event sink plus one metrics registry.
 ///
-/// Cloning is cheap (`Rc`); every instrumented layer of one simulation run
+/// Cloning is cheap (`Arc`); every instrumented layer of one simulation run
 /// holds a clone of the same recorder, so events from the controller, the
 /// device, the engine, and the runtime interleave into a single stream and
-/// a single registry. The simulator is single-threaded by construction, so
-/// interior mutability is a `RefCell`, not a lock.
+/// a single registry. The handle is `Send + Sync` so instrumented channels
+/// can migrate across the parallel backend's worker threads; within one
+/// channel's simulation the lock is uncontended (the parallel backend swaps
+/// in a private per-channel recorder and merges at the barrier, see
+/// [`Recorder::merge_from`]).
 ///
 /// Instrumented code stores an `Option<Recorder>` that defaults to `None`;
 /// with no recorder attached the hooks cost one pointer test.
 #[derive(Debug, Clone)]
 pub struct Recorder {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
 }
 
 impl Recorder {
     /// Creates a recorder over an arbitrary sink.
     pub fn new(sink: Sink) -> Recorder {
-        Recorder { inner: Rc::new(RefCell::new(Inner { sink, metrics: MetricsRegistry::new() })) }
+        Recorder { inner: Arc::new(Mutex::new(Inner { sink, metrics: MetricsRegistry::new() })) }
+    }
+
+    /// Locks the shared state. A poisoned lock means an instrumented worker
+    /// panicked mid-event; the telemetry is still structurally sound (every
+    /// record call is atomic under the lock), so recover the guard rather
+    /// than cascading the panic into unrelated threads.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poison| poison.into_inner())
     }
 
     /// Recorder keeping every event in memory.
@@ -89,48 +99,85 @@ impl Recorder {
 
     /// Emits a pre-built event.
     pub fn emit(&self, event: Event) {
-        self.inner.borrow_mut().sink.record(&event);
+        self.lock().sink.record(&event);
     }
 
     /// Adds to a named counter.
     pub fn add(&self, name: &str, delta: u64) {
-        self.inner.borrow_mut().metrics.add(name, delta);
+        self.lock().metrics.add(name, delta);
     }
 
     /// Sets a named gauge.
     pub fn set_gauge(&self, name: &str, value: f64) {
-        self.inner.borrow_mut().metrics.set_gauge(name, value);
+        self.lock().metrics.set_gauge(name, value);
     }
 
     /// Records a sample into a named histogram (created with `bounds` on
     /// first use).
     pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
-        self.inner.borrow_mut().metrics.observe(name, bounds, value);
+        self.lock().metrics.observe(name, bounds, value);
     }
 
     /// Snapshot of the metrics registry.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.borrow().metrics.snapshot()
+        self.lock().metrics.snapshot()
     }
 
     /// The retained events, if the sink retains any.
     pub fn events(&self) -> Option<Vec<Event>> {
-        self.inner.borrow().sink.events()
+        self.lock().sink.events()
     }
 
     /// Events offered to the sink so far.
     pub fn events_offered(&self) -> u64 {
-        self.inner.borrow().sink.offered()
+        self.lock().sink.offered()
     }
 
     /// Events dropped by a bounded sink.
     pub fn events_dropped(&self) -> u64 {
-        self.inner.borrow().sink.dropped()
+        self.lock().sink.dropped()
     }
 
     /// Runs `f` with mutable access to the metrics registry (bulk import).
     pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
-        f(&mut self.inner.borrow_mut().metrics)
+        f(&mut self.lock().metrics)
+    }
+
+    /// Whether `self` and `other` share the same underlying sink/registry.
+    pub fn same_handle(&self, other: &Recorder) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Folds a per-channel buffer recorder into this one: replays the
+    /// buffer's retained events into this recorder's sink in their recorded
+    /// order, then merges the buffer's metrics registry
+    /// ([`MetricsRegistry::merge`]).
+    ///
+    /// This is the deterministic reduction step of `pim-host`'s parallel
+    /// execution backend: each channel records into a private
+    /// [`Recorder::vec`] buffer on its worker thread, and the buffers are
+    /// merged in stable channel-index order at the end-of-kernel barrier.
+    /// A sequential run emits events in exactly that channel-major order,
+    /// so the merged stream (and every derived export — Chrome trace, CSV)
+    /// is identical to the sequential one.
+    ///
+    /// Merging a recorder into itself is a no-op. A buffer whose sink
+    /// retains no events (e.g. counting) contributes only its metrics.
+    pub fn merge_from(&self, buffer: &Recorder) {
+        if self.same_handle(buffer) {
+            return;
+        }
+        let (events, metrics) = {
+            let b = buffer.lock();
+            (b.sink.events(), b.metrics.clone())
+        };
+        let mut inner = self.lock();
+        if let Some(events) = events {
+            for e in &events {
+                inner.sink.record(e);
+            }
+        }
+        inner.metrics.merge(&metrics);
     }
 }
 
@@ -215,5 +262,43 @@ mod tests {
         r.instant(2, "b", "command", Scope::GLOBAL);
         assert_eq!(r.events_offered(), 2);
         assert!(r.events().is_none());
+    }
+
+    #[test]
+    fn recorder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Recorder>();
+    }
+
+    #[test]
+    fn merge_from_replays_events_and_merges_metrics() {
+        let main = Recorder::vec();
+        main.instant(1, "before", "command", Scope::GLOBAL);
+        main.add("x", 1);
+        let buf = Recorder::vec();
+        buf.instant(2, "ch0", "command", Scope::channel(0));
+        buf.instant(3, "ch0b", "command", Scope::channel(0));
+        buf.add("x", 2);
+        buf.observe("h", &[4, 8], 5);
+        main.merge_from(&buf);
+        let events = main.events().unwrap();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, vec!["before", "ch0", "ch0b"]);
+        assert_eq!(main.metrics().registry.counter("x"), 3);
+        assert_eq!(main.metrics().registry.histogram("h").unwrap().count(), 1);
+        // Self-merge is a no-op, not a deadlock or duplication.
+        main.merge_from(&main.clone());
+        assert_eq!(main.events().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn merge_from_counting_buffer_contributes_metrics_only() {
+        let main = Recorder::vec();
+        let buf = Recorder::counting();
+        buf.instant(1, "dropped", "command", Scope::GLOBAL);
+        buf.add("y", 7);
+        main.merge_from(&buf);
+        assert_eq!(main.events().unwrap().len(), 0);
+        assert_eq!(main.metrics().registry.counter("y"), 7);
     }
 }

@@ -10,8 +10,9 @@ use std::path::Path;
 ///
 /// Implementations must be cheap: sinks run inline with the simulation (but
 /// only when a recorder is attached, so the un-instrumented path never pays
-/// for them).
-pub trait EventSink: fmt::Debug {
+/// for them). `Send` is a supertrait because recorders (and the controllers
+/// holding them) migrate across the parallel backend's worker threads.
+pub trait EventSink: fmt::Debug + Send {
     /// Receives one event.
     fn record(&mut self, event: &Event);
 

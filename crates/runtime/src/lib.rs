@@ -55,5 +55,6 @@ pub use executor::Executor;
 pub use graph::{run_graph, GraphNode, GraphResult, NodeRecord};
 pub use kernels::{gemv_microkernel, stream_microkernel, StreamOp};
 pub use layout::BlockMap;
+pub use pim_host::ExecutionBackend;
 pub use preprocessor::{ExecutionTarget, Preprocessor};
 pub use script::{ScriptError, ScriptSession};
