@@ -1,0 +1,151 @@
+//! `pimlint` — the command-line driver for the `pim-verify` static
+//! analysis passes.
+//!
+//! ```text
+//! usage: pimlint [OPTIONS] [FILES...]
+//!
+//!   FILES             `.pim` microkernel sources (assembled, then run
+//!                     through the kernel verifier) and `.trace` command
+//!                     streams (protocol linter + fence-race detector)
+//!   --builtin         also lint every built-in runtime microkernel (all
+//!                     hardware variants) and every executor choreography
+//!   --variant NAME    hardware variant for the kernel pass:
+//!                     base | 2x | 2bank | srw        (default: base)
+//!   --deny-warnings   exit non-zero on warnings, not just errors
+//!   --encode FILE     assemble FILE and print its CRF image as hex words
+//!                     (for authoring `.trace` fixtures), then exit
+//! ```
+//!
+//! A file whose first line is `; expect: PV###` inverts the check: the
+//! file *must* produce that diagnostic (the committed invalid corpus under
+//! `tests/corpus/` is linted this way in CI).
+//!
+//! Exit status: 0 clean (or all expectations met), 1 diagnostics found or
+//! an expectation unmet, 2 usage or I/O error.
+
+use pim_bench::lint;
+use pim_core::{PimConfig, PimVariant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pimlint [--builtin] [--variant base|2x|2bank|srw] \
+         [--deny-warnings] [--encode FILE] [FILES...]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("pimlint: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut files: Vec<String> = Vec::new();
+    let mut builtin = false;
+    let mut deny_warnings = false;
+    let mut encode: Option<String> = None;
+    let mut variant = PimVariant::Base;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--builtin" => builtin = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--encode" => encode = Some(args.next().unwrap_or_else(|| usage())),
+            "--variant" => {
+                variant = match args.next().as_deref() {
+                    Some("base") => PimVariant::Base,
+                    Some("2x") => PimVariant::DoubleResources,
+                    Some("2bank") => PimVariant::TwoBankAccess,
+                    Some("srw") => PimVariant::SimultaneousReadWrite,
+                    _ => usage(),
+                };
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if files.is_empty() && !builtin && encode.is_none() {
+        usage();
+    }
+    let cfg = PimConfig::with_variant(variant);
+
+    if let Some(path) = encode {
+        match pim_core::asm::assemble(&read(&path)) {
+            Ok(prog) => {
+                for i in &prog {
+                    println!("0x{:08X}  ; {i}", i.encode());
+                }
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut failed = false;
+
+    for path in &files {
+        let source = read(path);
+        let report = if path.ends_with(".pim") {
+            lint::lint_pim_source(&cfg, &source)
+        } else if path.ends_with(".trace") {
+            lint::lint_trace_source(&cfg, &source)
+        } else {
+            eprintln!("pimlint: {path}: expected a .pim or .trace file");
+            std::process::exit(2);
+        };
+        match lint::expected_code(&source) {
+            Some(code) => {
+                if report.has_code(code) {
+                    println!("{path}: produces {code} as expected");
+                } else {
+                    eprint!("{}", report.render(path));
+                    eprintln!("{path}: FAILED — expected {code}, not produced");
+                    failed = true;
+                }
+            }
+            None => {
+                if !report.is_clean() {
+                    print!("{}", report.render(path));
+                }
+                if report.has_errors() || (deny_warnings && report.warning_count() > 0) {
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if builtin {
+        let mut checked = 0usize;
+        for (name, report) in lint::builtin_kernel_reports() {
+            checked += 1;
+            if !report.is_clean() {
+                print!("{}", report.render(&name));
+                failed = true;
+            }
+        }
+        for (name, protocol, fences) in lint::builtin_stream_reports() {
+            checked += 1;
+            if !protocol.is_clean() {
+                print!("{}", protocol.render(&name));
+                failed = true;
+            }
+            if !fences.is_clean() {
+                print!("{}", fences.render(&name));
+                failed = true;
+            }
+        }
+        println!(
+            "builtin: {checked} kernel/stream targets linted{}",
+            if failed { "" } else { ", all clean" }
+        );
+    }
+
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod lint;
 pub mod micro;
 pub mod parallel;
 pub mod profile;

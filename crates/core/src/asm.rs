@@ -15,48 +15,66 @@
 //! EXIT
 //! ```
 
-use crate::isa::{Instruction, Operand, OperandKind};
+use crate::isa::{Instruction, Operand, OperandKind, ValidateError};
 use std::fmt;
 
-/// An assembly error with its 1-based line number.
+/// An assembly error with its 1-based line and column numbers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// Line the error occurred on (1-based).
     pub line: usize,
+    /// Column the error starts at (1-based, pointing at the offending
+    /// token within the source line).
+    pub col: usize,
     /// What went wrong.
     pub message: String,
+    /// The structural rule violated, when the error came from
+    /// [`Instruction::validate`] (`None` for pure syntax errors). Lets
+    /// tools such as `pimlint` map to stable diagnostic codes.
+    pub violation: Option<ValidateError>,
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
 impl std::error::Error for AsmError {}
 
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+fn err<T>(line: usize, col: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, col, message: message.into(), violation: None })
+}
+
+/// 1-based column of `sub` within `raw` (`sub` must be a subslice of `raw`,
+/// which every token handed around below is — they all borrow from the same
+/// source line).
+fn col_of(raw: &str, sub: &str) -> usize {
+    (sub.as_ptr() as usize) - (raw.as_ptr() as usize) + 1
 }
 
 /// Parses an operand like `GRF_A[3]`, `EVEN_BANK`, `SRF_M[0]`, `WDATA`.
-fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
-    let (name, idx) = match tok.find('[') {
+/// `col` is the operand token's 1-based column in its source line.
+fn parse_operand(tok: &str, line: usize, col: usize) -> Result<Operand, AsmError> {
+    let (name, idx, idx_col) = match tok.find('[') {
         Some(open) => {
             let close = match tok.find(']') {
                 Some(c) if c > open => c,
-                _ => return err(line, format!("malformed index in operand `{tok}`")),
+                _ => return err(line, col, format!("malformed index in operand `{tok}`")),
             };
+            let idx_col = col + open + 1;
             let idx: u8 = tok[open + 1..close].parse().map_err(|_| AsmError {
                 line,
+                col: idx_col,
                 message: format!("bad register index in `{tok}`"),
+                violation: None,
             })?;
-            (&tok[..open], idx)
+            (&tok[..open], idx, idx_col)
         }
-        None => (tok, 0u8),
+        None => (tok, 0u8, col),
     };
     if idx >= 8 {
-        return err(line, format!("register index {idx} out of range in `{tok}`"));
+        return err(line, idx_col, format!("register index {idx} out of range in `{tok}`"));
     }
     let kind = match name {
         "GRF_A" => OperandKind::GrfA,
@@ -66,14 +84,16 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
         "SRF_M" => OperandKind::SrfM,
         "SRF_A" => OperandKind::SrfA,
         "WDATA" => OperandKind::Wdata,
-        other => return err(line, format!("unknown operand `{other}`")),
+        other => return err(line, col, format!("unknown operand `{other}`")),
     };
     Ok(Operand::new(kind, idx))
 }
 
-/// Parses one instruction line (comments and surrounding whitespace already
-/// stripped).
-fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
+/// Parses one instruction line. `raw` is the full source line (for column
+/// computation); `text` is the comment-stripped, trimmed instruction slice
+/// of it.
+fn parse_line(raw: &str, text: &str, line: usize) -> Result<Instruction, AsmError> {
+    let col = |sub: &str| col_of(raw, sub);
     // Trailing "(AAM)" flag.
     let (text, aam) = match text.strip_suffix("(AAM)") {
         Some(t) => (t.trim_end(), true),
@@ -88,7 +108,11 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
         if operands.len() == n {
             Ok(())
         } else {
-            err(line, format!("{mnemonic} expects {n} operand(s), got {}", operands.len()))
+            err(
+                line,
+                col(mnemonic),
+                format!("{mnemonic} expects {n} operand(s), got {}", operands.len()),
+            )
         }
     };
 
@@ -97,7 +121,9 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
             need(1)?;
             let cycles: u32 = operands[0].parse().map_err(|_| AsmError {
                 line,
+                col: col(operands[0]),
                 message: format!("bad NOP count `{}`", operands[0]),
+                violation: None,
             })?;
             Instruction::Nop { cycles: cycles.max(1) }
         }
@@ -105,12 +131,16 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
             need(2)?;
             let target: u8 = operands[0].parse().map_err(|_| AsmError {
                 line,
+                col: col(operands[0]),
                 message: format!("bad JUMP target `{}`", operands[0]),
+                violation: None,
             })?;
             let count_str = operands[1].strip_prefix('#').unwrap_or(operands[1]);
             let count: u32 = count_str.parse().map_err(|_| AsmError {
                 line,
+                col: col(operands[1]),
                 message: format!("bad JUMP count `{}`", operands[1]),
+                violation: None,
             })?;
             Instruction::Jump { target, count }
         }
@@ -121,8 +151,8 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
         "MOV" | "MOV(ReLU)" => {
             need(2)?;
             Instruction::Mov {
-                dst: parse_operand(operands[0], line)?,
-                src: parse_operand(operands[1], line)?,
+                dst: parse_operand(operands[0], line, col(operands[0]))?,
+                src: parse_operand(operands[1], line, col(operands[1]))?,
                 relu: mnemonic == "MOV(ReLU)",
                 aam,
             }
@@ -130,16 +160,16 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
         "FILL" => {
             need(2)?;
             Instruction::Fill {
-                dst: parse_operand(operands[0], line)?,
-                src: parse_operand(operands[1], line)?,
+                dst: parse_operand(operands[0], line, col(operands[0]))?,
+                src: parse_operand(operands[1], line, col(operands[1]))?,
                 aam,
             }
         }
         "ADD" | "MUL" | "MAC" | "MAD" => {
             need(3)?;
-            let dst = parse_operand(operands[0], line)?;
-            let src0 = parse_operand(operands[1], line)?;
-            let src1 = parse_operand(operands[2], line)?;
+            let dst = parse_operand(operands[0], line, col(operands[0]))?;
+            let src0 = parse_operand(operands[1], line, col(operands[1]))?;
+            let src1 = parse_operand(operands[2], line, col(operands[2]))?;
             match mnemonic {
                 "ADD" => Instruction::Add { dst, src0, src1, aam },
                 "MUL" => Instruction::Mul { dst, src0, src1, aam },
@@ -147,7 +177,7 @@ fn parse_line(text: &str, line: usize) -> Result<Instruction, AsmError> {
                 _ => Instruction::Mad { dst, src0, src1, aam },
             }
         }
-        other => return err(line, format!("unknown mnemonic `{other}`")),
+        other => return err(line, col(mnemonic), format!("unknown mnemonic `{other}`")),
     };
     Ok(instr)
 }
@@ -178,12 +208,17 @@ pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
         if text.is_empty() {
             continue;
         }
-        let instr = parse_line(text, line)?;
-        instr.validate().map_err(|m| AsmError { line, message: m })?;
+        let instr = parse_line(raw, text, line)?;
+        instr.validate().map_err(|v| AsmError {
+            line,
+            col: col_of(raw, text),
+            message: v.to_string(),
+            violation: Some(v),
+        })?;
+        if program.len() >= 32 {
+            return err(line, col_of(raw, text), "program exceeds the 32-entry CRF");
+        }
         program.push(instr);
-    }
-    if program.len() > 32 {
-        return err(0, format!("program has {} instructions; the CRF holds 32", program.len()));
     }
     Ok(program)
 }
@@ -274,6 +309,7 @@ mod tests {
     fn illegal_combinations_rejected_at_assembly() {
         let e = assemble("ADD GRF_A[0], EVEN_BANK, ODD_BANK").unwrap_err();
         assert!(e.message.contains("one bank"));
+        assert_eq!(e.violation, Some(ValidateError::MultipleBankOperands));
     }
 
     #[test]
@@ -281,6 +317,61 @@ mod tests {
         let src = "NOP 1\n".repeat(33);
         let e = assemble(&src).unwrap_err();
         assert!(e.message.contains("32"));
+        assert_eq!((e.line, e.col), (33, 1));
+    }
+
+    /// One span assertion per assembler error variant: the reported
+    /// (line, col) must point at the offending token so `pimlint` can
+    /// render caret diagnostics.
+    #[test]
+    fn every_error_variant_carries_a_span() {
+        let span = |src: &str| {
+            let e = assemble(src).unwrap_err();
+            (e.line, e.col, e.message.clone())
+        };
+        // Unknown mnemonic: points at the mnemonic, past indentation.
+        let (l, c, m) = span("EXIT\n  BOGUS GRF_A[0]");
+        assert_eq!((l, c), (2, 3), "{m}");
+        assert!(m.contains("unknown mnemonic"));
+        // Wrong operand count: points at the mnemonic.
+        let (l, c, m) = span("ADD GRF_A[0], EVEN_BANK");
+        assert_eq!((l, c), (1, 1), "{m}");
+        assert!(m.contains("expects 3"));
+        // Malformed index (missing `]`): points at the operand.
+        let (l, c, m) = span("MOV GRF_A[0, EVEN_BANK");
+        assert_eq!((l, c), (1, 5), "{m}");
+        assert!(m.contains("malformed index"));
+        // Non-numeric register index: points at the index digits.
+        let (l, c, m) = span("MOV GRF_A[x], EVEN_BANK");
+        assert_eq!((l, c), (1, 11), "{m}");
+        assert!(m.contains("bad register index"));
+        // Out-of-range register index: points at the index digits.
+        let (l, c, m) = span("MOV GRF_A[9], EVEN_BANK");
+        assert_eq!((l, c), (1, 11), "{m}");
+        assert!(m.contains("out of range"));
+        // Unknown operand name: points at the operand.
+        let (l, c, m) = span("MOV GRF_A[0], BANK_3");
+        assert_eq!((l, c), (1, 15), "{m}");
+        assert!(m.contains("unknown operand"));
+        // Bad NOP cycle count: points at the count.
+        let (l, c, m) = span("NOP lots");
+        assert_eq!((l, c), (1, 5), "{m}");
+        assert!(m.contains("bad NOP count"));
+        // Bad JUMP target: points at the target.
+        let (l, c, m) = span("JUMP x, #1");
+        assert_eq!((l, c), (1, 6), "{m}");
+        assert!(m.contains("bad JUMP target"));
+        // Bad JUMP count: points at the count.
+        let (l, c, m) = span("JUMP 0, #x");
+        assert_eq!((l, c), (1, 9), "{m}");
+        assert!(m.contains("bad JUMP count"));
+        // Validate violation: points at the instruction, carries the
+        // typed violation.
+        let e = assemble("EXIT\n   JUMP 40, #1 ; too far").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 4), "{}", e.message);
+        assert_eq!(e.violation, Some(ValidateError::JumpTargetOutOfRange(40)));
+        // Display carries line:col.
+        assert!(e.to_string().starts_with("line 2:4: "), "{e}");
     }
 
     #[test]

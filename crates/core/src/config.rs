@@ -160,10 +160,13 @@ impl PimConfig {
     /// # Errors
     ///
     /// Returns the violated rule, as in `Instruction::validate`.
-    pub fn instruction_legal(&self, instr: &crate::isa::Instruction) -> Result<(), String> {
+    pub fn instruction_legal(
+        &self,
+        instr: &crate::isa::Instruction,
+    ) -> Result<(), crate::isa::ValidateError> {
         match instr.validate() {
-            Err(e)
-                if self.variant == PimVariant::TwoBankAccess && e.contains("one bank operand") =>
+            Err(crate::isa::ValidateError::MultipleBankOperands)
+                if self.variant == PimVariant::TwoBankAccess =>
             {
                 Ok(())
             }

@@ -370,6 +370,17 @@ impl PimChannel {
             let odd_data = LaneVec::from_block(&self.inner.bank(odd).read_block(col));
             let trig = Trigger { kind, row, col, even_data, odd_data };
             let out = self.units[u].execute(&trig);
+            // Cross-check the static verifier's contract: any instruction
+            // the unit actually executes must be legal on this variant. A
+            // failure here means a program bypassed `pim-verify` (or the
+            // verifier has a soundness hole) — debug builds stop at the
+            // first dynamic violation.
+            #[cfg(debug_assertions)]
+            if let Some(i) = out.executed {
+                if let Err(e) = self.config.instruction_legal(&i) {
+                    panic!("unit {u} executed an illegal instruction `{i}`: {e}");
+                }
+            }
             self.stats.pim_triggers += 1;
             if out.bank_read.is_some() {
                 self.stats.bank_operand_reads += 1;

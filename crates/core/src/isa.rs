@@ -469,38 +469,40 @@ impl Instruction {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the violated rule.
-    pub fn validate(&self) -> Result<(), String> {
-        let check = |dst: Operand, srcs: &[Operand], accumulating: bool| -> Result<(), String> {
-            if !dst.kind.is_grf() && !dst.kind.is_bank() && !dst.kind.is_srf() {
-                return Err(format!("{} cannot be a destination", dst.kind));
-            }
-            let banks =
-                srcs.iter().filter(|o| o.kind.is_bank()).count() + dst.kind.is_bank() as usize;
-            if banks > 1 {
-                return Err("at most one bank operand per instruction".into());
-            }
-            let srfs = srcs.iter().filter(|o| o.kind.is_srf()).count();
-            if srfs > 1 {
-                return Err("at most one scalar (SRF) operand per instruction".into());
-            }
-            if accumulating
-                && srcs.len() == 2
-                && srcs[0].kind.is_grf()
-                && srcs[0].kind == srcs[1].kind
-            {
-                return Err("accumulating ops cannot read the same GRF file twice".into());
-            }
-            Ok(())
-        };
+    /// Returns the violated rule as a typed [`ValidateError`]; its
+    /// `Display` form is a human-readable description.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let check =
+            |dst: Operand, srcs: &[Operand], accumulating: bool| -> Result<(), ValidateError> {
+                if !dst.kind.is_grf() && !dst.kind.is_bank() && !dst.kind.is_srf() {
+                    return Err(ValidateError::BadDestination(dst.kind));
+                }
+                let banks =
+                    srcs.iter().filter(|o| o.kind.is_bank()).count() + dst.kind.is_bank() as usize;
+                if banks > 1 {
+                    return Err(ValidateError::MultipleBankOperands);
+                }
+                let srfs = srcs.iter().filter(|o| o.kind.is_srf()).count();
+                if srfs > 1 {
+                    return Err(ValidateError::MultipleScalarOperands);
+                }
+                if accumulating
+                    && srcs.len() == 2
+                    && srcs[0].kind.is_grf()
+                    && srcs[0].kind == srcs[1].kind
+                {
+                    return Err(ValidateError::SameGrfFileTwice);
+                }
+                Ok(())
+            };
         match *self {
             Instruction::Nop { .. } | Instruction::Exit => Ok(()),
             Instruction::Jump { target, count } => {
                 if target >= 32 {
-                    return Err("JUMP target beyond the 32-entry CRF".into());
+                    return Err(ValidateError::JumpTargetOutOfRange(target));
                 }
                 if count == 0 {
-                    return Err("JUMP with zero iterations".into());
+                    return Err(ValidateError::JumpZeroCount);
                 }
                 Ok(())
             }
@@ -509,31 +511,89 @@ impl Instruction {
             }
             Instruction::Add { dst, src0, src1, .. } => {
                 if !dst.kind.is_grf() {
-                    return Err("ADD destination must be a GRF".into());
+                    return Err(ValidateError::NonGrfDestination("ADD"));
                 }
                 check(dst, &[src0, src1], false)
             }
             Instruction::Mul { dst, src0, src1, .. } => {
                 if !dst.kind.is_grf() {
-                    return Err("MUL destination must be a GRF".into());
+                    return Err(ValidateError::NonGrfDestination("MUL"));
                 }
                 if src0.kind.is_srf() || src1.kind == OperandKind::SrfA {
-                    return Err("MUL scalars come from SRF_M as SRC1 only".into());
+                    return Err(ValidateError::ScalarOperandMisplaced("MUL"));
                 }
                 check(dst, &[src0, src1], false)
             }
             Instruction::Mac { dst, src0, src1, .. } | Instruction::Mad { dst, src0, src1, .. } => {
                 if !dst.kind.is_grf() {
-                    return Err("MAC/MAD destination must be a GRF".into());
+                    return Err(ValidateError::NonGrfDestination("MAC/MAD"));
                 }
                 if src0.kind.is_srf() || src1.kind == OperandKind::SrfA {
-                    return Err("MAC/MAD scalars come from SRF_M as SRC1 only".into());
+                    return Err(ValidateError::ScalarOperandMisplaced("MAC/MAD"));
                 }
                 check(dst, &[src0, src1], true)
             }
         }
     }
 }
+
+/// A structural operand-combination violation reported by
+/// [`Instruction::validate`] — the Table II/III routing rules.
+///
+/// The `Display` output reproduces the historical string messages, so
+/// user-facing diagnostics are unchanged; the typed variants let tooling
+/// such as `pim-verify` attach stable error codes without parsing text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidateError {
+    /// The operand kind cannot be written (e.g. `WDATA` as DST).
+    BadDestination(OperandKind),
+    /// More than one bank operand in a single instruction (the column
+    /// decoder can drive only one bank access per trigger).
+    MultipleBankOperands,
+    /// More than one scalar (SRF) operand in a single instruction.
+    MultipleScalarOperands,
+    /// An accumulating op (MAC/MAD) reads the same GRF file twice.
+    SameGrfFileTwice,
+    /// A JUMP target that does not fit the 32-entry CRF.
+    JumpTargetOutOfRange(u8),
+    /// A JUMP with a zero iteration count.
+    JumpZeroCount,
+    /// An arithmetic destination that must be a GRF is not one; carries
+    /// the mnemonic (`"ADD"`, `"MUL"`, `"MAC/MAD"`).
+    NonGrfDestination(&'static str),
+    /// A scalar operand in a position the datapath cannot route; carries
+    /// the mnemonic (`"MUL"`, `"MAC/MAD"`).
+    ScalarOperandMisplaced(&'static str),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidateError::BadDestination(kind) => write!(f, "{kind} cannot be a destination"),
+            ValidateError::MultipleBankOperands => {
+                f.write_str("at most one bank operand per instruction")
+            }
+            ValidateError::MultipleScalarOperands => {
+                f.write_str("at most one scalar (SRF) operand per instruction")
+            }
+            ValidateError::SameGrfFileTwice => {
+                f.write_str("accumulating ops cannot read the same GRF file twice")
+            }
+            ValidateError::JumpTargetOutOfRange(_) => {
+                f.write_str("JUMP target beyond the 32-entry CRF")
+            }
+            ValidateError::JumpZeroCount => f.write_str("JUMP with zero iterations"),
+            ValidateError::NonGrfDestination(mnemonic) => {
+                write!(f, "{mnemonic} destination must be a GRF")
+            }
+            ValidateError::ScalarOperandMisplaced(mnemonic) => {
+                write!(f, "{mnemonic} scalars come from SRF_M as SRC1 only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
 
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -745,7 +805,9 @@ mod tests {
             src1: Operand::odd_bank(),
             aam: false,
         };
-        assert!(bad.validate().unwrap_err().contains("one bank"));
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err, ValidateError::MultipleBankOperands);
+        assert!(err.to_string().contains("one bank"));
     }
 
     #[test]
@@ -756,7 +818,9 @@ mod tests {
             src1: Operand::srf_a(1),
             aam: false,
         };
-        assert!(bad.validate().unwrap_err().contains("scalar"));
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err, ValidateError::MultipleScalarOperands);
+        assert!(err.to_string().contains("scalar"));
     }
 
     #[test]
@@ -767,13 +831,21 @@ mod tests {
             src1: Operand::grf_a(2),
             aam: false,
         };
-        assert!(bad.validate().unwrap_err().contains("same GRF file"));
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err, ValidateError::SameGrfFileTwice);
+        assert!(err.to_string().contains("same GRF file"));
     }
 
     #[test]
     fn validate_rejects_bad_jump() {
-        assert!(Instruction::Jump { target: 32, count: 1 }.validate().is_err());
-        assert!(Instruction::Jump { target: 0, count: 0 }.validate().is_err());
+        assert_eq!(
+            Instruction::Jump { target: 32, count: 1 }.validate(),
+            Err(ValidateError::JumpTargetOutOfRange(32))
+        );
+        assert_eq!(
+            Instruction::Jump { target: 0, count: 0 }.validate(),
+            Err(ValidateError::JumpZeroCount)
+        );
     }
 
     #[test]
@@ -784,7 +856,7 @@ mod tests {
             src1: Operand::grf_b(0),
             aam: false,
         };
-        assert!(bad.validate().is_err());
+        assert_eq!(bad.validate(), Err(ValidateError::NonGrfDestination("MUL")));
     }
 
     #[test]

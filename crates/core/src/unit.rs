@@ -212,6 +212,20 @@ impl PimUnit {
             }
             match self.crf.fetch(self.ppc) {
                 Instruction::Jump { target, count } => {
+                    // The JUMP encoding carries more target bits than the
+                    // CRF has entries, so a raw CRF image can name an
+                    // out-of-range target. The static verifier rejects such
+                    // programs (PV007); if one reaches the sequencer anyway,
+                    // halt instead of indexing past the CRF.
+                    debug_assert!(
+                        (target as usize) < CRF_ENTRIES,
+                        "JUMP target {target} outside the {CRF_ENTRIES}-entry CRF \
+                         reached the sequencer (rejected statically by pim-verify)"
+                    );
+                    if (target as usize) >= CRF_ENTRIES {
+                        self.halted = true;
+                        return;
+                    }
                     // The body executes `count` times: take the backward
                     // jump `count - 1` times, then fall through.
                     if self.jump_taken[self.ppc] + 1 < count {

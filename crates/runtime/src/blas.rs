@@ -51,6 +51,12 @@ pub enum PimError {
     },
     /// Empty input.
     Empty,
+    /// Strict mode refused the kernel: the `pim-verify` static verifier
+    /// reported at least one error.
+    InvalidKernel {
+        /// The verifier's full diagnostic report.
+        report: pim_verify::Report,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -59,6 +65,9 @@ impl fmt::Display for PimError {
             PimError::SizeMismatch { detail } => write!(f, "size mismatch: {detail}"),
             PimError::OutOfMemory { detail } => write!(f, "PIM memory exhausted: {detail}"),
             PimError::Empty => write!(f, "empty input"),
+            PimError::InvalidKernel { report } => {
+                write!(f, "kernel rejected by pim-verify:\n{report}")
+            }
         }
     }
 }
@@ -302,7 +311,7 @@ impl PimBlas {
         let start = ctx.sys.max_now();
         let triggers_before = ctx.sys.total_pim_triggers();
         let channels = ctx.sys.channel_count();
-        let r = Executor::run(ctx, channels, &program, None, false, &data);
+        let r = Executor::try_run(ctx, channels, &program, None, false, &data)?;
 
         // Gather the per-slice sums from GRF_A[0].
         let mut out = vec![0.0f32; dim];
@@ -398,7 +407,7 @@ impl PimBlas {
         let start = ctx.sys.max_now();
         let triggers_before = ctx.sys.total_pim_triggers();
         let channels = ctx.sys.channel_count();
-        let r = Executor::run(ctx, channels, &program, srf.as_ref(), false, &batches);
+        let r = Executor::try_run(ctx, channels, &program, srf.as_ref(), false, &batches)?;
 
         // Gather z.
         let z = layout::gather_vector(&ctx.sys, &map, n, |b| {
@@ -506,7 +515,7 @@ impl PimBlas {
             let prow = base_row + p as u32 * rows_per_pass;
             let batches = gemv_batches(kpad, prow, x, &cfg);
             let channels = ctx.sys.channel_count();
-            let r = Executor::run(ctx, channels, &program, None, true, &batches);
+            let r = Executor::try_run(ctx, channels, &program, None, true, &batches)?;
             commands += r.commands;
             fences += r.fences;
             // Host-side reduction of the 8 partial accumulators per unit.

@@ -24,6 +24,11 @@ pub struct PimContext {
     /// ([`PimContext::enable_profiling`]). `None` by default: instrumented
     /// layers then skip all event/metric work.
     pub recorder: Option<Recorder>,
+    /// Strict launch mode: when set, every kernel launched through the
+    /// executor is first checked by the `pim-verify` static verifier, and
+    /// launches with verifier errors are refused with the full diagnostic
+    /// report instead of being simulated.
+    pub strict: bool,
 }
 
 impl PimContext {
@@ -50,12 +55,18 @@ impl PimContext {
             mm,
             mode: ExecutionMode::Fenced { reorder_seed: None },
             recorder: None,
+            strict: false,
         }
     }
 
     /// Switches the ordering regime.
     pub fn set_mode(&mut self, mode: ExecutionMode) {
         self.mode = mode;
+    }
+
+    /// Enables or disables strict launch mode (see [`PimContext::strict`]).
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
     }
 
     /// Selects the execution backend every kernel launched through this

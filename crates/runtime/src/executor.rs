@@ -16,7 +16,9 @@
 //! single-bank mode through the memory-mapped GRF row of each unit's even
 //! bank.
 
+use crate::blas::PimError;
 use crate::context::PimContext;
+use crate::preprocessor::Preprocessor;
 use pim_core::isa::Instruction;
 use pim_core::{conf, LaneVec};
 use pim_dram::{BankAddr, Command, CommandSink, DataBlock};
@@ -101,6 +103,12 @@ impl Executor {
 
     /// Runs the same kernel choreography on the first `channels` channels
     /// of the system.
+    ///
+    /// # Panics
+    ///
+    /// In strict mode ([`PimContext::set_strict`]), panics if the static
+    /// verifier rejects `program`; use [`Executor::try_run`] to handle the
+    /// report instead.
     pub fn run(
         ctx: &mut PimContext,
         channels: usize,
@@ -109,6 +117,31 @@ impl Executor {
         clear_grf_b: bool,
         data_batches: &[Batch],
     ) -> KernelResult {
+        Self::try_run(ctx, channels, program, srf, clear_grf_b, data_batches)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Executor::run`], but in strict mode a kernel the static verifier
+    /// rejects returns [`PimError::InvalidKernel`] (with the full
+    /// diagnostic report) instead of being simulated.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::InvalidKernel`] when `ctx.strict` is set and
+    /// `pim-verify` reports at least one error for `program` under the
+    /// system's configured variant.
+    pub fn try_run(
+        ctx: &mut PimContext,
+        channels: usize,
+        program: &[Instruction],
+        srf: Option<&LaneVec>,
+        clear_grf_b: bool,
+        data_batches: &[Batch],
+    ) -> Result<KernelResult, PimError> {
+        if ctx.strict {
+            Preprocessor::verify_kernel(ctx.sys.pim_config(), program)
+                .map_err(|report| PimError::InvalidKernel { report })?;
+        }
         let batches = Self::full_kernel(program, srf, clear_grf_b, data_batches);
         let per_channel: Vec<Vec<Batch>> = (0..channels).map(|_| batches.clone()).collect();
         if let Some(r) = &ctx.recorder {
@@ -118,7 +151,7 @@ impl Executor {
         if let Some(r) = &ctx.recorder {
             r.end(ctx.sys.max_now(), "kernel", names::CAT_KERNEL, Scope::GLOBAL);
         }
-        result
+        Ok(result)
     }
 
     /// Reads GRF_A[0..8] of (`ch`, `unit`) back through the memory-mapped
@@ -235,6 +268,28 @@ mod tests {
         // Kernel A executed 2 MOVs; kernel B executed 1 MOV, then its
         // second trigger hit the padded EXIT (halted triggers don't count).
         assert_eq!(unit.stats().instructions, 3);
+    }
+
+    #[test]
+    fn strict_mode_refuses_invalid_kernel() {
+        let mut ctx = crate::PimContext::small_system();
+        ctx.set_strict(true);
+        // No EXIT: the verifier reports PV013.
+        let prog = vec![Instruction::Mov {
+            dst: Operand::grf_a(0),
+            src: Operand::even_bank(),
+            relu: false,
+            aam: false,
+        }];
+        let err = Executor::try_run(&mut ctx, 1, &prog, None, false, &[]).unwrap_err();
+        let crate::blas::PimError::InvalidKernel { report } = &err else {
+            panic!("expected InvalidKernel, got {err}");
+        };
+        assert!(report.has_code(pim_verify::PvCode::Pv013NoExit));
+        // The same launch is accepted (it simulates, however pointlessly)
+        // without strict mode.
+        ctx.set_strict(false);
+        assert!(Executor::try_run(&mut ctx, 1, &prog, None, false, &[]).is_ok());
     }
 
     #[test]

@@ -434,6 +434,13 @@ pub fn sls_batches(indices: &[u32], base_row: u32) -> Vec<Batch> {
             });
         }
     }
+    // The gather's final column batch carries the kernel's closing fence:
+    // it drains every in-flight accumulation before the host moves on to
+    // the choreography tail and the GRF readback (the race `pim-verify`'s
+    // fence pass reports as PV202 when missing).
+    if let Some(last) = batches.last_mut() {
+        last.fence_after = true;
+    }
     if open.is_some() {
         batches.push(Batch::setup(vec![Command::Pre { bank }]));
     }

@@ -8,6 +8,8 @@
 //! applications" (ResNet-50 in Fig. 10, which runs entirely on the host).
 
 use crate::ops::OpKind;
+use pim_core::isa::Instruction;
+use pim_core::PimConfig;
 use pim_host::HostConfig;
 
 /// Where the preprocessor decides an op should run.
@@ -66,6 +68,27 @@ impl Preprocessor {
             return ExecutionTarget::Host;
         }
         ExecutionTarget::Pim
+    }
+
+    /// Statically verifies a microkernel before launch (strict mode).
+    ///
+    /// Runs the `pim-verify` kernel pass on `program` under `config`'s
+    /// variant; warnings are tolerated, errors refuse the launch.
+    ///
+    /// # Errors
+    ///
+    /// The full diagnostic [`pim_verify::Report`] when the verifier finds
+    /// at least one error-severity finding.
+    pub fn verify_kernel(
+        config: &PimConfig,
+        program: &[Instruction],
+    ) -> Result<(), pim_verify::Report> {
+        let report = pim_verify::verify_program(config, program);
+        if report.has_errors() {
+            Err(report)
+        } else {
+            Ok(())
+        }
     }
 }
 

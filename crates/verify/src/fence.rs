@@ -1,0 +1,285 @@
+//! The fence-race detector: a happens-before pass over a command stream
+//! that finds host reads of PIM-written state with no intervening fence.
+//!
+//! The paper's software stack inserts "a barrier for every 8 DRAM
+//! commands" (Section VII-D) because the memory controller may reorder
+//! commands between barriers; a host read that consumes a PIM result
+//! before the producing trigger is guaranteed drained is a race. The
+//! detector replays the stream through the [`crate::ModeTracker`] and a
+//! *shadow PIM unit* (a real [`pim_core::PimUnit`] fed zero bank data), so
+//! it knows — instruction-accurately — which bank addresses and which GRF
+//! entries each trigger dirties. A fence clears the dirty sets; a host
+//! read of a still-dirty location reports `PV201` (bank data) or `PV202`
+//! (memory-mapped GRF readback).
+
+use crate::diag::{PvCode, Report};
+use crate::protocol::{Effect, ModeTracker};
+use crate::stream::{StreamEvent, StreamItem};
+use pim_core::isa::{Instruction, OperandKind};
+use pim_core::{LaneVec, PimConfig, PimMode, PimUnit, Trigger, TriggerKind};
+use std::collections::HashSet;
+
+/// `(file, index)` GRF coordinates: file 0 = GRF_A, 1 = GRF_B.
+type GrfSlot = (u8, usize);
+
+fn grf_dst(instr: &Instruction, col: u32) -> Option<GrfSlot> {
+    let (dst, aam) = match instr {
+        Instruction::Mov { dst, aam, .. }
+        | Instruction::Fill { dst, aam, .. }
+        | Instruction::Add { dst, aam, .. }
+        | Instruction::Mul { dst, aam, .. }
+        | Instruction::Mac { dst, aam, .. }
+        | Instruction::Mad { dst, aam, .. } => (dst, *aam),
+        _ => return None,
+    };
+    let file = match dst.kind {
+        OperandKind::GrfA => 0,
+        OperandKind::GrfB => 1,
+        _ => return None,
+    };
+    let idx = if aam { (col & 7) as usize } else { dst.idx as usize };
+    Some((file, idx))
+}
+
+fn grf_slot_of_col(col: u32) -> GrfSlot {
+    let c = (col % 16) as usize;
+    if c < 8 {
+        (0, c)
+    } else {
+        (1, c - 8)
+    }
+}
+
+/// Runs the fence-race pass over a stream.
+///
+/// `config` selects the variant whose semantics the shadow unit follows
+/// (it only affects which instructions are legal — the data path is
+/// variant-independent at this level).
+pub fn check_fences(config: &PimConfig, events: &[StreamEvent]) -> Report {
+    let _ = config;
+    let mut report = Report::new();
+    let mut tracker = ModeTracker::new();
+    // Protocol diagnostics are the other pass's job; discard them here.
+    let mut scratch = Report::new();
+    let mut unit = PimUnit::new();
+    let zero = LaneVec::from_block(&[0u8; 32]);
+    let mut dirty_bank: HashSet<(u32, u32)> = HashSet::new();
+    let mut dirty_grf: HashSet<GrfSlot> = HashSet::new();
+    for ev in events {
+        let cmd = match &ev.item {
+            StreamItem::Fence => {
+                dirty_bank.clear();
+                dirty_grf.clear();
+                continue;
+            }
+            StreamItem::Cmd(c) => c,
+        };
+        match tracker.apply(cmd, &ev.site, &mut scratch) {
+            Effect::CrfLoad { col, data } => {
+                let base = (col as usize % 4) * 8;
+                for i in 0..8 {
+                    let b = i * 4;
+                    let w = u32::from_le_bytes([data[b], data[b + 1], data[b + 2], data[b + 3]]);
+                    unit.crf_mut().write_word(base + i, w);
+                }
+            }
+            Effect::ModeChange { to: PimMode::AllBankPim } => unit.reset_sequencer(),
+            Effect::ModeChange { .. } => {}
+            Effect::Trigger { write_data, row, col } => {
+                let kind = match write_data {
+                    Some(d) => TriggerKind::Write(LaneVec::from_block(&d)),
+                    None => TriggerKind::Read,
+                };
+                let out =
+                    unit.execute(&Trigger { kind, row, col, even_data: zero, odd_data: zero });
+                if out.bank_write.is_some() {
+                    dirty_bank.insert((row, col));
+                }
+                if let Some(slot) = out.executed.as_ref().and_then(|i| grf_dst(i, col)) {
+                    dirty_grf.insert(slot);
+                }
+            }
+            Effect::DataRead { row, col } => {
+                if dirty_bank.contains(&(row, col)) {
+                    report.error(
+                        PvCode::Pv201UnfencedHostRead,
+                        ev.site.clone(),
+                        format!(
+                            "host read of (row {row}, col {col}) written by a PIM \
+                             trigger with no intervening fence"
+                        ),
+                    );
+                }
+            }
+            Effect::GrfRead { col } => {
+                let (file, idx) = grf_slot_of_col(col);
+                if dirty_grf.contains(&(file, idx)) {
+                    let name = if file == 0 { "GRF_A" } else { "GRF_B" };
+                    report.error(
+                        PvCode::Pv202UnfencedGrfReadback,
+                        ev.site.clone(),
+                        format!(
+                            "readback of {name}[{idx}] written by a PIM trigger \
+                             with no intervening fence"
+                        ),
+                    );
+                }
+            }
+            Effect::DataWrite { .. } | Effect::None => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{strip_fences, StreamItem};
+    use pim_core::conf;
+    use pim_core::isa::{Instruction, Operand};
+    use pim_dram::{BankAddr, Command, DataBlock};
+
+    fn bank() -> BankAddr {
+        BankAddr::new(0, 0)
+    }
+
+    fn crf_block(program: &[Instruction]) -> DataBlock {
+        let mut data: DataBlock = [0u8; 32];
+        for i in 0..8 {
+            let word = program.get(i).unwrap_or(&Instruction::Exit).encode();
+            data[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        data
+    }
+
+    /// A kernel that stores results to the even bank, followed by a host
+    /// read of the same address.
+    fn store_then_read(fence_between: bool) -> Vec<StreamEvent> {
+        let program = vec![
+            Instruction::Mov {
+                dst: Operand::even_bank(),
+                src: Operand::grf_a(0),
+                relu: false,
+                aam: false,
+            },
+            Instruction::Exit,
+        ];
+        let mut cmds = conf::enter_ab_sequence();
+        cmds.push(Command::Act { bank: bank(), row: conf::CRF_ROW });
+        cmds.push(Command::Wr { bank: bank(), col: 0, data: crf_block(&program) });
+        cmds.push(Command::Pre { bank: bank() });
+        cmds.extend(conf::set_pim_op_mode_sequence(true));
+        cmds.push(Command::Act { bank: bank(), row: 3 });
+        cmds.push(Command::Rd { bank: bank(), col: 5 });
+        cmds.push(Command::Pre { bank: bank() });
+        cmds.extend(conf::set_pim_op_mode_sequence(false));
+        cmds.extend(conf::exit_ab_sequence());
+        let mut events: Vec<StreamEvent> =
+            cmds.into_iter().enumerate().map(|(i, c)| StreamEvent::cmd(i, c)).collect();
+        if fence_between {
+            events.push(StreamEvent {
+                item: StreamItem::Fence,
+                site: crate::Site::Command { index: events.len(), desc: "fence".into() },
+            });
+        }
+        // Host readback of the address the MOV stored to.
+        let n = events.len();
+        for (i, c) in [
+            Command::Act { bank: bank(), row: 3 },
+            Command::Rd { bank: bank(), col: 5 },
+            Command::Pre { bank: bank() },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            events.push(StreamEvent::cmd(n + i, c));
+        }
+        events
+    }
+
+    #[test]
+    fn unfenced_bank_read_is_pv201() {
+        let r = check_fences(&PimConfig::paper(), &store_then_read(false));
+        assert!(r.has_code(PvCode::Pv201UnfencedHostRead), "expected PV201:\n{r}");
+    }
+
+    #[test]
+    fn fenced_bank_read_is_clean() {
+        let r = check_fences(&PimConfig::paper(), &store_then_read(true));
+        assert!(r.is_clean(), "unexpected diagnostics:\n{r}");
+    }
+
+    #[test]
+    fn stripping_fences_reintroduces_the_race() {
+        let fenced = store_then_read(true);
+        let r = check_fences(&PimConfig::paper(), &strip_fences(&fenced));
+        assert!(r.has_code(PvCode::Pv201UnfencedHostRead));
+    }
+
+    /// A kernel accumulating into GRF_A[0], then a memory-mapped GRF
+    /// readback of that entry.
+    fn accumulate_then_readback(fence_between: bool) -> Vec<StreamEvent> {
+        let program = vec![
+            Instruction::Fill { dst: Operand::grf_a(0), src: Operand::even_bank(), aam: false },
+            Instruction::Exit,
+        ];
+        let mut cmds = conf::enter_ab_sequence();
+        cmds.push(Command::Act { bank: bank(), row: conf::CRF_ROW });
+        cmds.push(Command::Wr { bank: bank(), col: 0, data: crf_block(&program) });
+        cmds.push(Command::Pre { bank: bank() });
+        cmds.extend(conf::set_pim_op_mode_sequence(true));
+        cmds.push(Command::Act { bank: bank(), row: 3 });
+        cmds.push(Command::Rd { bank: bank(), col: 0 });
+        cmds.push(Command::Pre { bank: bank() });
+        cmds.extend(conf::set_pim_op_mode_sequence(false));
+        cmds.extend(conf::exit_ab_sequence());
+        let mut events: Vec<StreamEvent> =
+            cmds.into_iter().enumerate().map(|(i, c)| StreamEvent::cmd(i, c)).collect();
+        if fence_between {
+            events.push(StreamEvent {
+                item: StreamItem::Fence,
+                site: crate::Site::Command { index: events.len(), desc: "fence".into() },
+            });
+        }
+        let n = events.len();
+        for (i, c) in [
+            Command::Act { bank: bank(), row: conf::GRF_ROW },
+            Command::Rd { bank: bank(), col: 0 },
+            Command::Pre { bank: bank() },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            events.push(StreamEvent::cmd(n + i, c));
+        }
+        events
+    }
+
+    #[test]
+    fn unfenced_grf_readback_is_pv202() {
+        let r = check_fences(&PimConfig::paper(), &accumulate_then_readback(false));
+        assert!(r.has_code(PvCode::Pv202UnfencedGrfReadback), "expected PV202:\n{r}");
+    }
+
+    #[test]
+    fn fenced_grf_readback_is_clean() {
+        let r = check_fences(&PimConfig::paper(), &accumulate_then_readback(true));
+        assert!(r.is_clean(), "unexpected diagnostics:\n{r}");
+    }
+
+    #[test]
+    fn reading_a_different_grf_entry_is_clean() {
+        // The kernel writes GRF_A[0]; reading GRF_B[3] (column 11) races
+        // with nothing. The readback RD is the last RD in the stream.
+        let mut events = accumulate_then_readback(false);
+        if let Some(ev) =
+            events.iter_mut().rev().find(|e| matches!(e.item, StreamItem::Cmd(Command::Rd { .. })))
+        {
+            if let StreamItem::Cmd(Command::Rd { col, .. }) = &mut ev.item {
+                *col = 11;
+            }
+        }
+        let r = check_fences(&PimConfig::paper(), &events);
+        assert!(r.is_clean(), "unexpected diagnostics:\n{r}");
+    }
+}

@@ -1,0 +1,42 @@
+//! `pim-verify` — static analysis for the PIM software stack.
+//!
+//! Three passes, all running *before* (or instead of) simulation:
+//!
+//! 1. **Kernel verifier** ([`verify_program`], [`verify_image`]): checks a
+//!    microkernel — per-instruction legality on the configured variant,
+//!    register-index bounds, control flow (backward-only JUMPs, guaranteed
+//!    EXIT, dead code), data flow (read-before-write, dead writes, mixed
+//!    AAM addressing), and the 5-stage pipeline's bank read-after-write
+//!    hazard window (Section IV-B).
+//! 2. **Protocol linter** ([`lint_stream`], [`ModeTracker`]): replays a
+//!    standard-DRAM command stream through a mirror of the SB / AB /
+//!    AB-PIM mode machine (Section III-B, Fig. 3) and flags sequences the
+//!    device would reject, silently ignore, or execute with surprising
+//!    results.
+//! 3. **Fence-race detector** ([`check_fences`]): a happens-before pass
+//!    that finds host reads of PIM-written bank addresses or GRF entries
+//!    with no intervening fence (the Section VII-D barrier contract).
+//!
+//! Every diagnostic carries a stable `PV###` code ([`PvCode`]) documented
+//! in `docs/LINTING.md`; [`Report::render`] produces `rustc`-style output.
+//! The `pimlint` binary (in `pim-bench`) drives all three passes from the
+//! command line; `pim-runtime`'s strict mode runs the kernel verifier at
+//! launch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod fence;
+mod kernel;
+mod protocol;
+mod stream;
+
+pub use diag::{Diagnostic, PvCode, Report, Severity, Site};
+pub use fence::check_fences;
+pub use kernel::{code_of_violation, verify_image, verify_program};
+pub use protocol::{lint_stream, Effect, ModeTracker};
+pub use stream::{
+    events_from_batches, events_from_trace_entries, parse_trace, strip_fences, StreamEvent,
+    StreamItem,
+};

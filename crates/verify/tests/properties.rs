@@ -1,0 +1,221 @@
+//! Property tests for the static analysis passes: valid kernels stay
+//! clean through the program/image round-trip, arbitrary single-word
+//! image mutations are either still valid or rejected with an
+//! attributable diagnostic, random command streams never panic the
+//! protocol linter, and the fence pass flags exactly the unfenced
+//! store-then-read shape.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use pim_core::conf;
+use pim_core::isa::{Instruction, Operand};
+use pim_core::{PimConfig, PimVariant};
+use pim_dram::{BankAddr, Command, DataBlock};
+use pim_verify::{
+    check_fences, lint_stream, strip_fences, verify_image, verify_program, PvCode, StreamEvent,
+};
+
+/// The GEMV inner loop shape (`docs/ISA.md` worked example), parameterized.
+fn gemv_like(groups: u32, srf: u8, grf: u8) -> Vec<Instruction> {
+    vec![
+        Instruction::Fill { dst: Operand::srf_m(srf), src: Operand::wdata(), aam: false },
+        Instruction::Mac {
+            dst: Operand::grf_b(grf),
+            src0: Operand::even_bank(),
+            src1: Operand::srf_m(srf),
+            aam: true,
+        },
+        Instruction::Jump { target: 1, count: 8 },
+        Instruction::Jump { target: 0, count: groups },
+        Instruction::Exit,
+    ]
+}
+
+/// The SLS gather shape, parameterized by lookup count.
+fn sls_like(lookups: u32, grf: u8) -> Vec<Instruction> {
+    let mut prog =
+        vec![Instruction::Fill { dst: Operand::grf_a(grf), src: Operand::even_bank(), aam: false }];
+    if lookups > 1 {
+        prog.push(Instruction::Add {
+            dst: Operand::grf_a(grf),
+            src0: Operand::grf_a(grf),
+            src1: Operand::even_bank(),
+            aam: false,
+        });
+        prog.push(Instruction::Jump { target: 1, count: lookups - 1 });
+    }
+    prog.push(Instruction::Exit);
+    prog
+}
+
+/// Encodes a program into a full 32-word CRF image, EXIT-padded the way
+/// the executor pads partial chunks.
+fn image_of(program: &[Instruction]) -> Vec<u32> {
+    let mut words: Vec<u32> = program.iter().map(Instruction::encode).collect();
+    words.resize(32, Instruction::Exit.encode());
+    words
+}
+
+/// A strategy over valid kernels: the documented GEMV and SLS shapes with
+/// randomized loop bounds, register indices and trailing NOP padding.
+fn valid_kernel() -> impl Strategy<Value = Vec<Instruction>> {
+    prop_oneof![
+        (1u32..2048, 0u8..8, 0u8..8).prop_map(|(g, s, r)| gemv_like(g, s, r)),
+        (1u32..64, 0u8..8).prop_map(|(l, r)| sls_like(l, r)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Valid kernels verify clean, and stay clean through the
+    /// encode-to-CRF-image round trip on every hardware variant.
+    #[test]
+    fn valid_kernels_survive_the_image_round_trip(prog in valid_kernel()) {
+        for variant in PimVariant::ALL {
+            let cfg = PimConfig::with_variant(variant);
+            let direct = verify_program(&cfg, &prog);
+            prop_assert!(direct.is_clean(), "{variant:?} direct:\n{direct}");
+            let image = verify_image(&cfg, &image_of(&prog));
+            prop_assert!(image.is_clean(), "{variant:?} image:\n{image}");
+        }
+    }
+
+    /// Mutating one word of a valid CRF image never panics the verifier,
+    /// is deterministic, and any undecodable word is pinned as PV011 at
+    /// the mutated position.
+    #[test]
+    fn single_word_mutations_are_attributed(
+        prog in valid_kernel(),
+        pos in 0usize..32,
+        word in any::<u32>(),
+    ) {
+        let cfg = PimConfig::paper();
+        let mut words = image_of(&prog);
+        prop_assume!(words[pos] != word);
+        words[pos] = word;
+        let report = verify_image(&cfg, &words);
+        prop_assert_eq!(&report, &verify_image(&cfg, &words), "non-deterministic");
+        if Instruction::decode(word).is_err() {
+            prop_assert!(report.has_code(PvCode::Pv011UndecodableWord), "{report}");
+        } else {
+            // Still decodable: the verifier must reach a verdict (clean or
+            // coded diagnostics) and render it without panicking.
+            let _ = report.render("mutated");
+        }
+    }
+
+    /// The protocol linter is total and deterministic over arbitrary
+    /// command streams.
+    #[test]
+    fn protocol_linter_never_panics(cmds in collection::vec(arb_command(), 0..40)) {
+        let events: Vec<StreamEvent> =
+            cmds.into_iter().enumerate().map(|(i, c)| StreamEvent::cmd(i, c)).collect();
+        let a = lint_stream(&events);
+        let b = lint_stream(&events);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The fence-race detector flags the unfenced store-then-read at any
+    /// address, and a single fence between the trigger and the readback
+    /// always clears it.
+    #[test]
+    fn fence_detector_is_exact_for_store_then_read(
+        row in 0u32..4096,
+        col in 0u32..32,
+        fenced in any::<bool>(),
+    ) {
+        let cfg = PimConfig::paper();
+        let events = store_then_read(row, col, fenced);
+        let report = check_fences(&cfg, &events);
+        if fenced {
+            prop_assert!(report.is_clean(), "fenced:\n{report}");
+            let stripped = check_fences(&cfg, &strip_fences(&events));
+            prop_assert!(stripped.has_code(PvCode::Pv201UnfencedHostRead), "{stripped}");
+        } else {
+            prop_assert!(report.has_code(PvCode::Pv201UnfencedHostRead), "{report}");
+        }
+    }
+}
+
+/// Strategy over single DRAM commands (bank addresses in range, rows
+/// spanning both data and configuration space).
+fn arb_command() -> impl Strategy<Value = Command> {
+    let bank = (0u8..4, 0u8..4).prop_map(|(bg, ba)| BankAddr::new(bg, ba));
+    let row = prop_oneof![0u32..64, conf::PIM_CONF_FIRST_ROW..conf::PIM_CONF_FIRST_ROW + 6];
+    prop_oneof![
+        (bank.clone(), row).prop_map(|(bank, row)| Command::Act { bank, row }),
+        bank.clone().prop_map(|bank| Command::Pre { bank }),
+        Just(Command::PreAll),
+        Just(Command::Ref),
+        (bank.clone(), 0u32..32).prop_map(|(bank, col)| Command::Rd { bank, col }),
+        (bank, 0u32..32, any::<u8>()).prop_map(|(bank, col, b)| {
+            let data: DataBlock = [b; 32];
+            Command::Wr { bank, col, data }
+        }),
+    ]
+}
+
+/// The full store-then-read choreography: program a bank-storing kernel,
+/// fire one write trigger at (`row`, `col`), optionally fence, then read
+/// the same address back from plain all-bank mode.
+fn store_then_read(row: u32, col: u32, fenced: bool) -> Vec<StreamEvent> {
+    let bank = BankAddr::new(0, 0);
+    let program = [
+        Instruction::Mov {
+            dst: Operand::even_bank(),
+            src: Operand::wdata(),
+            relu: false,
+            aam: false,
+        },
+        Instruction::Exit,
+    ];
+    let mut crf: DataBlock = [0u8; 32];
+    for (i, inst) in program.iter().enumerate() {
+        crf[i * 4..i * 4 + 4].copy_from_slice(&inst.encode().to_le_bytes());
+    }
+
+    let mut cmds = conf::enter_ab_sequence();
+    cmds.push(Command::Act { bank, row: conf::CRF_ROW });
+    cmds.push(Command::Wr { bank, col: 0, data: crf });
+    cmds.push(Command::Pre { bank });
+    cmds.extend(conf::set_pim_op_mode_sequence(true));
+    cmds.push(Command::Act { bank, row });
+    cmds.push(Command::Wr { bank, col, data: [0x3C; 32] });
+    cmds.push(Command::Pre { bank });
+    cmds.extend(conf::set_pim_op_mode_sequence(false));
+
+    let mut events: Vec<StreamEvent> =
+        cmds.into_iter().enumerate().map(|(i, c)| StreamEvent::cmd(i, c)).collect();
+    if fenced {
+        events.push(StreamEvent::fence(events.len()));
+    }
+    let n = events.len();
+    for (i, c) in [Command::Act { bank, row }, Command::Rd { bank, col }, Command::Pre { bank }]
+        .into_iter()
+        .enumerate()
+    {
+        events.push(StreamEvent::cmd(n + i, c));
+    }
+    events
+}
+
+/// The worked example in `docs/ISA.md` ("Worked example: the GEMV inner
+/// loop") assembles and passes the kernel verifier on every variant.
+#[test]
+fn documented_worked_example_verifies() {
+    let doc = include_str!("../../../docs/ISA.md");
+    let marker = "## Worked example";
+    let start = doc.find(marker).expect("ISA.md lost its worked example");
+    let block = &doc[start..];
+    let open = block.find("```text").expect("worked example lost its code block") + 7;
+    let close = block[open..].find("```").expect("unterminated code block") + open;
+    let source = &block[open..close];
+    let prog = pim_core::asm::assemble(source)
+        .unwrap_or_else(|e| panic!("ISA.md worked example no longer assembles: {e}"));
+    for variant in PimVariant::ALL {
+        let report = verify_program(&PimConfig::with_variant(variant), &prog);
+        assert!(report.is_clean(), "{variant:?}:\n{report}");
+    }
+}

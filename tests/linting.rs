@@ -1,0 +1,169 @@
+//! Integration tests for the `pim-verify` static analysis stack: the
+//! committed invalid corpus, the valid trace fixtures, the no-fence race
+//! reproduction, and the strict launch mode.
+
+use std::path::PathBuf;
+
+use pim_bench::lint;
+use pim_core::isa::{Instruction, Operand};
+use pim_core::PimConfig;
+use pim_runtime::kernels::{gemv_batches, gemv_microkernel};
+use pim_runtime::{Executor, PimContext, PimError};
+use pim_verify::{check_fences, events_from_batches, strip_fences, PvCode, StreamEvent};
+
+fn repo_tests_dir(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests").join(sub)
+}
+
+fn sources_in(sub: &str) -> Vec<(String, String)> {
+    let dir = repo_tests_dir(sub);
+    let mut out: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).unwrap();
+            (name, text)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn lint_by_extension(cfg: &PimConfig, name: &str, source: &str) -> pim_verify::Report {
+    if name.ends_with(".pim") {
+        lint::lint_pim_source(cfg, source)
+    } else if name.ends_with(".trace") {
+        lint::lint_trace_source(cfg, source)
+    } else {
+        panic!("{name}: corpus files must be .pim or .trace");
+    }
+}
+
+/// Every corpus file declares the diagnostic it reproduces in its
+/// `; expect: PV###` header, and the linter produces exactly that code.
+#[test]
+fn corpus_files_produce_their_expected_codes() {
+    let cfg = PimConfig::paper();
+    let mut kernel_codes = std::collections::BTreeSet::new();
+    let mut stream_codes = std::collections::BTreeSet::new();
+    let corpus = sources_in("corpus");
+    assert!(corpus.len() >= 20, "corpus shrank to {} files", corpus.len());
+    for (name, source) in &corpus {
+        let expected = lint::expected_code(source)
+            .unwrap_or_else(|| panic!("{name}: missing `; expect: PV###` header"));
+        let report = lint_by_extension(&cfg, name, source);
+        assert!(
+            report.has_code(expected),
+            "{name}: expected {expected}, got:\n{}",
+            report.render(name)
+        );
+        if name.ends_with(".pim") {
+            kernel_codes.insert(expected);
+        } else {
+            stream_codes.insert(expected);
+        }
+    }
+    // The acceptance bar: at least ten distinct PV codes per corpus half.
+    assert!(kernel_codes.len() >= 10, "only {} distinct kernel codes", kernel_codes.len());
+    assert!(stream_codes.len() >= 10, "only {} distinct stream codes", stream_codes.len());
+}
+
+/// The valid trace fixtures pass both stream passes with zero diagnostics.
+#[test]
+fn trace_fixtures_lint_clean() {
+    let cfg = PimConfig::paper();
+    let fixtures = sources_in("fixtures");
+    assert!(fixtures.len() >= 2, "expected at least two valid fixtures");
+    for (name, source) in &fixtures {
+        let report = lint::lint_trace_source(&cfg, source);
+        assert!(report.is_clean(), "{name}:\n{}", report.render(name));
+    }
+}
+
+/// The shipped example kernel sources assemble and verify clean.
+#[test]
+fn example_kernel_sources_lint_clean() {
+    let cfg = PimConfig::paper();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/kernels");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.display().to_string();
+        let report = lint::lint_pim_source(&cfg, &std::fs::read_to_string(&path).unwrap());
+        assert!(report.is_clean(), "{name}:\n{}", report.render(&name));
+        seen += 1;
+    }
+    assert!(seen >= 2, "expected the shipped example kernels under examples/kernels/");
+}
+
+/// Every built-in microkernel passes the kernel verifier and every
+/// executor choreography passes the protocol and fence passes.
+#[test]
+fn builtin_kernels_and_streams_are_clean() {
+    for (name, report) in lint::builtin_kernel_reports() {
+        assert!(report.is_clean(), "{name}:\n{}", report.render(&name));
+    }
+    for (name, protocol, fences) in lint::builtin_stream_reports() {
+        assert!(protocol.is_clean(), "{name}:\n{}", protocol.render(&name));
+        assert!(fences.is_clean(), "{name}:\n{}", fences.render(&name));
+    }
+}
+
+/// The GEMV choreography with the host readback of the accumulators: the
+/// shipped (fenced) stream is race-free, and the detector pinpoints the
+/// unfenced-readback race (PV202) the moment the fences are stripped —
+/// the no-fence experiment of Section VII-B, statically.
+#[test]
+fn fence_detector_flags_stripped_gemv_readback() {
+    let cfg = PimConfig::paper();
+    let k = 64usize;
+    let x = vec![1.0f32; k];
+    let prog = gemv_microkernel((k / 8) as u32, &cfg);
+    let data = gemv_batches(k, 0x100, &x, &cfg);
+    let batches = Executor::full_kernel(&prog, None, true, &data);
+    let mut events = events_from_batches(&batches);
+    let n = events.len();
+    let bank = pim_dram::BankAddr::new(0, 0);
+    events.push(StreamEvent::cmd(n, pim_dram::Command::Act { bank, row: pim_core::conf::GRF_ROW }));
+    for i in 0..8u32 {
+        events
+            .push(StreamEvent::cmd(n + 1 + i as usize, pim_dram::Command::Rd { bank, col: 8 + i }));
+    }
+    events.push(StreamEvent::cmd(n + 9, pim_dram::Command::Pre { bank }));
+
+    let fenced = check_fences(&cfg, &events);
+    assert!(fenced.is_clean(), "fenced GEMV should be race-free:\n{}", fenced.render("gemv"));
+
+    let stripped = strip_fences(&events);
+    let report = check_fences(&cfg, &stripped);
+    assert!(
+        report.has_code(PvCode::Pv202UnfencedGrfReadback),
+        "stripped GEMV should race:\n{}",
+        report.render("gemv-nofence")
+    );
+}
+
+/// Strict launch mode surfaces the very same report the standalone
+/// verifier produces for the rejected kernel.
+#[test]
+fn strict_mode_report_matches_standalone_verifier() {
+    let mut ctx = PimContext::small_system();
+    ctx.set_strict(true);
+    let prog = vec![
+        Instruction::Mac {
+            dst: Operand::grf_a(0),
+            src0: Operand::even_bank(),
+            src1: Operand::odd_bank(),
+            aam: false,
+        },
+        Instruction::Exit,
+    ];
+    let err = Executor::try_run(&mut ctx, 1, &prog, None, false, &[]).unwrap_err();
+    let PimError::InvalidKernel { report } = err else {
+        panic!("expected InvalidKernel");
+    };
+    let standalone = pim_verify::verify_program(ctx.sys.pim_config(), &prog);
+    assert_eq!(report, standalone);
+    assert!(report.has_code(PvCode::Pv002MultipleBankOperands));
+}
