@@ -52,7 +52,10 @@ fn main() {
         }),
         None => {
             let mut s = String::new();
-            std::io::stdin().read_to_string(&mut s).expect("stdin");
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("pimsim: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
             s
         }
     };

@@ -1,0 +1,216 @@
+//! Seeded fault-injection campaigns — the `pimfault` binary's engine.
+//!
+//! A campaign sweeps a base fault rate over a fixed mixture of the
+//! injector's fault classes, runs the resilient runtime at every point,
+//! and reports what the recovery ladder did: corrections, detections,
+//! retries, quarantines, host fallbacks, and (the figure of merit) wrong
+//! answers that escaped everything.
+//!
+//! Every campaign is deterministic in `(seed, elements, rates)`: fault
+//! decisions are pure hashes of per-channel state, so the same campaign
+//! produces a byte-identical JSON report under the sequential and
+//! threaded execution backends. The report deliberately omits the backend
+//! so that equality can be asserted on the serialized bytes.
+
+use crate::json::{obj, Json};
+use pim_faults::FaultPlan;
+use pim_fp16::F16;
+use pim_host::ExecutionBackend;
+use pim_runtime::{resilient_add, PimContext, PimError, ResilienceConfig};
+
+/// Campaign shape: the sweep and the workload size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed; every fault decision derives from it.
+    pub seed: u64,
+    /// Elements per vector-add workload.
+    pub elements: usize,
+    /// Base fault rates to sweep (see [`fault_mix`]).
+    pub rates: Vec<f64>,
+    /// Host execution backend (does not affect the report).
+    pub backend: ExecutionBackend,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 0xFA17,
+            elements: 4096,
+            rates: vec![0.0, 1e-4, 1e-3, 1e-2],
+            backend: ExecutionBackend::Sequential,
+        }
+    }
+}
+
+/// One sweep point: the recovery ladder's counters at a base rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPoint {
+    /// The base fault rate of this point.
+    pub rate: f64,
+    /// Scrub passes over resident operands.
+    pub scrubs: u64,
+    /// Single-bit errors corrected by the scrub path.
+    pub corrected: u64,
+    /// Uncorrectable errors detected by the scrub path.
+    pub detected: u64,
+    /// Blocks re-stored from the golden copy.
+    pub restored: u64,
+    /// Kernel launches (1 on a clean point).
+    pub launches: u64,
+    /// Launches retried after a wrong result.
+    pub retries: u64,
+    /// Channels quarantined.
+    pub quarantined: u64,
+    /// Result blocks computed host-side.
+    pub fallback_blocks: u64,
+    /// Elements wrong in the final output, checked independently against
+    /// the exact FP16 sum. Zero means the ladder fully recovered.
+    pub wrong_answers: u64,
+    /// Simulated cycles across all launches.
+    pub cycles: u64,
+    /// DRAM commands across all launches.
+    pub commands: u64,
+}
+
+/// The sweep's fault mixture at base rate `r`: transient cell flips
+/// dominate (as in the field), persistent and device faults ride along at
+/// fixed fractions, and whole-channel failures are rarest.
+pub fn fault_mix(seed: u64, rate: f64) -> FaultPlan {
+    let mut p = FaultPlan::quiet(seed);
+    p.cell_flip_rate = rate;
+    p.stuck_cell_rate = rate / 4.0;
+    p.stuck_pair_rate = rate / 8.0;
+    p.cmd_drop_rate = rate / 4.0;
+    p.cmd_corrupt_rate = rate / 4.0;
+    p.glitch_rate = rate / 16.0;
+    p.chan_fail_rate = rate / 2.0;
+    p.chan_stall_rate = rate / 8.0;
+    p.stall_penalty = 32;
+    p
+}
+
+/// Deterministic campaign operands (pure hash of the seed — the campaign
+/// must not depend on ambient randomness).
+fn operands(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let mix = |i: u64| {
+        let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    };
+    let val = |i: u64, salt: u64| ((mix(i ^ salt) % 509) as f32 - 254.0) * 0.125;
+    let x = (0..n as u64).map(|i| val(i, 0)).collect();
+    let y = (0..n as u64).map(|i| val(i, 0x5A5A)).collect();
+    (x, y)
+}
+
+/// Runs one sweep point on a fresh one-stack (16-channel) system.
+///
+/// # Errors
+///
+/// Propagates [`PimError`] from the resilient runtime (only plumbing
+/// failures — fault damage itself is recovered, not reported as an error).
+pub fn run_point(cfg: &CampaignConfig, rate: f64) -> Result<CampaignPoint, PimError> {
+    let mut ctx = PimContext::small_system();
+    ctx.set_backend(cfg.backend);
+    if rate > 0.0 {
+        ctx.inject_faults(&fault_mix(cfg.seed, rate));
+    }
+    let (x, y) = operands(cfg.seed, cfg.elements);
+    let (z, rep) = resilient_add(&mut ctx, &x, &y, &ResilienceConfig::default())?;
+    let wrong = z
+        .iter()
+        .zip(x.iter().zip(&y))
+        .filter(|(&got, (&a, &b))| {
+            got.to_bits() != (F16::from_f32(a) + F16::from_f32(b)).to_f32().to_bits()
+        })
+        .count() as u64;
+    Ok(CampaignPoint {
+        rate,
+        scrubs: rep.scrubs,
+        corrected: rep.ecc_corrected,
+        detected: rep.ecc_detected,
+        restored: rep.blocks_restored,
+        launches: rep.launches,
+        retries: rep.retries,
+        quarantined: rep.quarantined.len() as u64,
+        fallback_blocks: rep.host_fallback_blocks,
+        wrong_answers: wrong,
+        cycles: rep.kernel.cycles,
+        commands: rep.kernel.commands,
+    })
+}
+
+/// Runs the full sweep.
+///
+/// # Errors
+///
+/// Fails on the first point that returns a [`PimError`].
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<Vec<CampaignPoint>, PimError> {
+    cfg.rates.iter().map(|&rate| run_point(cfg, rate)).collect()
+}
+
+/// Serializes a campaign to the `pim-bench/fault-campaign-v1` document.
+/// Backend-independent by construction (see module docs).
+pub fn report_json(cfg: &CampaignConfig, points: &[CampaignPoint]) -> Json {
+    let point_json = |p: &CampaignPoint| {
+        obj([
+            ("rate", Json::Num(p.rate)),
+            ("scrubs", Json::Num(p.scrubs as f64)),
+            ("corrected", Json::Num(p.corrected as f64)),
+            ("detected", Json::Num(p.detected as f64)),
+            ("restored", Json::Num(p.restored as f64)),
+            ("launches", Json::Num(p.launches as f64)),
+            ("retries", Json::Num(p.retries as f64)),
+            ("quarantined", Json::Num(p.quarantined as f64)),
+            ("fallback_blocks", Json::Num(p.fallback_blocks as f64)),
+            ("wrong_answers", Json::Num(p.wrong_answers as f64)),
+            ("cycles", Json::Num(p.cycles as f64)),
+            ("commands", Json::Num(p.commands as f64)),
+        ])
+    };
+    obj([
+        ("schema", Json::Str("pim-bench/fault-campaign-v1".to_string())),
+        ("seed", Json::Num(cfg.seed as f64)),
+        ("elements", Json::Num(cfg.elements as f64)),
+        ("points", Json::Arr(points.iter().map(point_json).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn small() -> CampaignConfig {
+        CampaignConfig { elements: 1024, rates: vec![0.0, 1e-3], ..CampaignConfig::default() }
+    }
+
+    #[test]
+    fn zero_rate_point_is_clean() {
+        let cfg = small();
+        let p = run_point(&cfg, 0.0).unwrap();
+        assert_eq!(p.launches, 1);
+        assert_eq!(p.corrected + p.detected + p.retries + p.quarantined, 0);
+        assert_eq!(p.wrong_answers, 0);
+        assert!(p.cycles > 0);
+    }
+
+    #[test]
+    fn faulty_points_recover_to_zero_wrong_answers() {
+        let cfg = small();
+        for p in run_campaign(&cfg).unwrap() {
+            assert_eq!(p.wrong_answers, 0, "ladder must fully recover: {p:?}");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let cfg = small();
+        let points = run_campaign(&cfg).unwrap();
+        let doc = report_json(&cfg, &points);
+        let text = json::to_string(&doc);
+        let back = json::parse(&text).unwrap();
+        assert_eq!(back.get("schema").unwrap().as_str(), Some("pim-bench/fault-campaign-v1"));
+        assert_eq!(back.get("points").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

@@ -241,19 +241,50 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Consumes a run of ASCII digits, returning how many were consumed.
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
+        let int_start = self.pos;
+        if self.digits() == 0 {
+            return self.err("expected a digit in number");
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if self.bytes[int_start] == b'0' && self.pos - int_start > 1 {
+            return self.err("leading zeros are not allowed");
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return self.err("expected a digit after '.'");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return self.err("expected a digit in exponent");
+            }
+        }
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return self.err("number is not valid UTF-8");
+        };
         match text.parse::<f64>() {
-            Ok(n) => Ok(Json::Num(n)),
-            Err(_) => self.err(format!("bad number '{text}'")),
+            // `f64::from_str` accepts overflowing literals by saturating to
+            // infinity; JSON has no infinity, so reject those too.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => self.err(format!("number '{text}' does not fit a finite f64")),
         }
     }
 }
@@ -363,6 +394,23 @@ mod tests {
         let v = Json::Num(9_007_199_254_740_992.0 - 1.0);
         let s = to_string(&v);
         assert_eq!(parse(&s).unwrap().as_u64(), Some(9_007_199_254_740_991));
+    }
+
+    #[test]
+    fn malformed_numbers_are_errors_not_panics() {
+        for bad in ["-", "1e", "1e+", "1.", "01", "-01", "1e999", "-1e999", "1.e3", "0x10", "1e1e1"]
+        {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn edge_case_numbers_still_parse() {
+        assert_eq!(parse("-0").unwrap().as_f64(), Some(-0.0));
+        assert_eq!(parse("0.5e+2").unwrap().as_f64(), Some(50.0));
+        assert_eq!(parse("2E3").unwrap().as_f64(), Some(2000.0));
+        // Underflow to zero is finite, hence fine.
+        assert_eq!(parse("1e-999").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

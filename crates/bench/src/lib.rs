@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faults;
 pub mod json;
 pub mod lint;
 pub mod micro;

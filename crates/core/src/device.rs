@@ -39,6 +39,7 @@ use pim_dram::{
     BankAddr, Command, CommandSink, Cycle, DataBlock, IssueError, IssueOutcome, PseudoChannel,
     TimingParams,
 };
+use pim_faults::{CellFaults, ColumnFault, DeviceFaults, FaultPlan};
 use pim_obs::{names, Event, Recorder, Scope};
 
 /// First reserved row of the `PIM_CONF` region.
@@ -168,6 +169,9 @@ pub struct PimChannel {
     recorder: Option<Recorder>,
     /// System-level channel index stamped into event scopes.
     channel_id: u16,
+    /// Seeded device-fault injector; `None` (the default) keeps the
+    /// channel bit-identical to a build without fault support.
+    faults: Option<Box<DeviceFaults>>,
 }
 
 impl PimChannel {
@@ -189,7 +193,26 @@ impl PimChannel {
             stats: PimChannelStats::default(),
             recorder: None,
             channel_id: 0,
+            faults: None,
         }
+    }
+
+    /// Installs the seeded fault state for this channel: the device-level
+    /// command injector plus per-bank cell faults. `channel` is the
+    /// system-level channel index; it salts every decision so channels
+    /// fault independently of one another under one seed.
+    pub fn install_faults(&mut self, plan: &FaultPlan, channel: u16) {
+        self.faults = DeviceFaults::new(plan, channel as u64).map(Box::new);
+        for bank in BankAddr::all() {
+            let salt = ((channel as u64) << 8) | bank.flat_index() as u64;
+            self.inner.bank_mut(bank).set_faults(CellFaults::new(plan, salt));
+        }
+    }
+
+    /// Whether this channel's PIM units are hard-failed by the installed
+    /// fault plan (they never execute, so PIM results are garbage).
+    pub fn hard_failed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.hard_failed())
     }
 
     /// Attaches an observability recorder; `channel_id` is the system-level
@@ -361,8 +384,34 @@ impl PimChannel {
         }
     }
 
+    /// Rolls the per-command fault decision for a data-row column command
+    /// in an all-bank mode. A mode-machine glitch is applied on the spot:
+    /// the units' sequencers reset as if `PIM_OP_MODE` had been rewritten,
+    /// and the command then proceeds with the corrupted program state.
+    fn roll_column_fault(&mut self) -> ColumnFault {
+        let Some(f) = &mut self.faults else { return ColumnFault::None };
+        let fault = f.next_column();
+        if fault != ColumnFault::None {
+            if let Some(r) = &self.recorder {
+                r.add(names::DEV_FAULTS_INJECTED, 1);
+            }
+        }
+        if fault == ColumnFault::Glitch {
+            for u in &mut self.units {
+                u.reset_sequencer();
+            }
+        }
+        fault
+    }
+
     /// Delivers a column-command trigger to every PIM unit in lock-step.
     fn dispatch_triggers(&mut self, kind: TriggerKind, row: u32, col: u32) {
+        // A hard-failed channel's units never execute: triggers arrive but
+        // nothing runs and no results are written, so resident outputs stay
+        // stale — the wrong-answer signature the runtime quarantines on.
+        if self.faults.as_ref().is_some_and(|f| f.hard_failed()) {
+            return;
+        }
         for u in 0..self.units.len() {
             let even = BankAddr::from_flat_index(2 * u);
             let odd = BankAddr::from_flat_index(2 * u + 1);
@@ -461,10 +510,18 @@ impl PimChannel {
                         data_at: Some(cycle + t.t_cl + t.t_bl),
                     });
                 }
+                let fault = self.roll_column_fault();
                 match self.mode {
                     PimMode::AllBank => {
                         // Lock-step read: the host observes bank (0,0).
-                        let data = self.inner.bank(BankAddr::new(0, 0)).read_block(*col);
+                        let mut data = match fault {
+                            // A dropped read returns an empty burst.
+                            ColumnFault::Drop => [0u8; 32],
+                            _ => self.inner.bank(BankAddr::new(0, 0)).read_block(*col),
+                        };
+                        if let ColumnFault::CorruptBit(bit) = fault {
+                            pim_faults::flip_bit(&mut data, bit);
+                        }
                         Ok(IssueOutcome {
                             issued_at: cycle,
                             data: Some(data),
@@ -476,7 +533,9 @@ impl PimChannel {
                         // external I/O ("the AB-PIM mode does not consume
                         // power for transferring data from the bank I/O all
                         // the way to the I/O circuits", Section III-B).
-                        self.dispatch_triggers(TriggerKind::Read, row, *col);
+                        if fault != ColumnFault::Drop {
+                            self.dispatch_triggers(TriggerKind::Read, row, *col);
+                        }
                         Ok(IssueOutcome { issued_at: cycle, data: None, data_at: Some(cycle) })
                     }
                     PimMode::SingleBank => unreachable!("issue_ab in SB mode"),
@@ -492,13 +551,20 @@ impl PimChannel {
                     self.conf_write(row, *col, data, None);
                     return Ok(IssueOutcome { issued_at: cycle, data: None, data_at });
                 }
+                let fault = self.roll_column_fault();
+                let mut payload = *data;
+                if let ColumnFault::CorruptBit(bit) = fault {
+                    pim_faults::flip_bit(&mut payload, bit);
+                }
                 match self.mode {
                     PimMode::AllBank => {
                         // Broadcast write: the same block lands in every
                         // bank — how the software stack replicates shared
                         // operands across banks in one command.
-                        for b in BankAddr::all() {
-                            self.inner.bank_mut(b).write_block(*col, data);
+                        if fault != ColumnFault::Drop {
+                            for b in BankAddr::all() {
+                                self.inner.bank_mut(b).write_block(*col, &payload);
+                            }
                         }
                         Ok(IssueOutcome { issued_at: cycle, data: None, data_at })
                     }
@@ -506,8 +572,10 @@ impl PimChannel {
                         // The WR's block rides the write datapath into the
                         // units as the WDATA operand; the array itself is
                         // not written (instructions write banks explicitly).
-                        let wdata = LaneVec::from_block(data);
-                        self.dispatch_triggers(TriggerKind::Write(wdata), row, *col);
+                        if fault != ColumnFault::Drop {
+                            let wdata = LaneVec::from_block(&payload);
+                            self.dispatch_triggers(TriggerKind::Write(wdata), row, *col);
+                        }
                         Ok(IssueOutcome { issued_at: cycle, data: None, data_at })
                     }
                     PimMode::SingleBank => unreachable!("issue_ab in SB mode"),
@@ -606,6 +674,23 @@ impl CommandSink for PimChannel {
     fn issue(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, IssueError> {
         let before = self.mode;
         let result = self.issue_inner(cmd, cycle);
+        if result.is_ok() {
+            if let Some(f) = &self.faults {
+                let p = f.stall_penalty();
+                if p > 0 {
+                    // A stall-degraded channel: every accepted command
+                    // pushes the timing horizons out by the penalty.
+                    match self.mode {
+                        PimMode::SingleBank => self.inner.quiesce_until(cycle + p),
+                        _ => {
+                            self.ab.next_act = self.ab.next_act.max(cycle + p);
+                            self.ab.next_col = self.ab.next_col.max(cycle + p);
+                            self.ab.next_pre = self.ab.next_pre.max(cycle + p);
+                        }
+                    }
+                }
+            }
+        }
         if self.mode != before {
             if let Some(r) = &self.recorder {
                 r.add(names::DEV_MODE_TRANSITIONS, 1);

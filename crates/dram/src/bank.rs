@@ -9,6 +9,7 @@
 
 use crate::command::{DataBlock, DATA_BLOCK_BYTES};
 use crate::timing::Cycle;
+use pim_faults::CellFaults;
 use std::collections::HashMap;
 
 /// Bytes per DRAM row (page) per bank, per pseudo channel: 1 KiB for HBM2.
@@ -57,6 +58,10 @@ pub struct Bank {
     pub(crate) last_act: Cycle,
     /// Cycles accumulated with a row open, over all closed open-intervals.
     open_cycles: u64,
+    /// Seeded cell-fault state, absent in the fault-free configuration.
+    /// Boxed so the dormant hook costs one pointer per bank and one null
+    /// test per array access.
+    faults: Option<Box<CellFaults>>,
 }
 
 impl Default for Bank {
@@ -76,7 +81,15 @@ impl Bank {
             next_pre: 0,
             last_act: 0,
             open_cycles: 0,
+            faults: None,
         }
+    }
+
+    /// Installs (or clears) the seeded cell-fault state for this bank.
+    /// With `None` — the default — the array is fault-free and every
+    /// access path is bit-identical to a build without fault support.
+    pub fn set_faults(&mut self, faults: Option<CellFaults>) {
+        self.faults = faults.map(Box::new);
     }
 
     /// Current row-buffer state.
@@ -140,6 +153,9 @@ impl Bank {
             let off = col as usize * DATA_BLOCK_BYTES;
             block.copy_from_slice(&data[off..off + DATA_BLOCK_BYTES]);
         }
+        if let Some(f) = &self.faults {
+            f.corrupt_read(row, col, &mut block);
+        }
         block
     }
 
@@ -151,10 +167,14 @@ impl Bank {
     pub fn write_block(&mut self, col: u32, data: &DataBlock) {
         let row = self.open_row().expect("write with no open row");
         assert!(col < COLS_PER_ROW, "column {col} out of range");
+        let mut data = *data;
+        if let Some(f) = &mut self.faults {
+            f.corrupt_write(row, col, &mut data);
+        }
         let storage =
             self.rows.entry(row).or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
         let off = col as usize * DATA_BLOCK_BYTES;
-        storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(data);
+        storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(&data);
     }
 
     /// Direct backdoor read used by test assertions and by the functional
@@ -167,16 +187,25 @@ impl Bank {
             let off = col as usize * DATA_BLOCK_BYTES;
             block.copy_from_slice(&data[off..off + DATA_BLOCK_BYTES]);
         }
+        if let Some(f) = &self.faults {
+            f.corrupt_read(row, col, &mut block);
+        }
         block
     }
 
-    /// Direct backdoor write (see [`Bank::peek_block`]).
+    /// Direct backdoor write (see [`Bank::peek_block`]). Like the in-band
+    /// path, it is subject to transient write faults: DMA traffic crosses
+    /// the same array.
     pub fn poke_block(&mut self, row: u32, col: u32, data: &DataBlock) {
         assert!(row < ROWS_PER_BANK && col < COLS_PER_ROW);
+        let mut data = *data;
+        if let Some(f) = &mut self.faults {
+            f.corrupt_write(row, col, &mut data);
+        }
         let storage =
             self.rows.entry(row).or_insert_with(|| vec![0u8; ROW_BYTES].into_boxed_slice());
         let off = col as usize * DATA_BLOCK_BYTES;
-        storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(data);
+        storage[off..off + DATA_BLOCK_BYTES].copy_from_slice(&data);
     }
 
     /// Number of rows that have been materialized (written at least once).

@@ -13,6 +13,33 @@
 
 use crate::llc::Llc;
 
+/// Why a requested PIM region cannot back a [`BypassPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The region has zero length.
+    Empty,
+    /// `base + len` overflows the 64-bit address space.
+    Overflow {
+        /// Start of the rejected region.
+        base: u64,
+        /// Requested length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::Empty => write!(f, "empty PIM region"),
+            RegionError::Overflow { base, len } => {
+                write!(f, "PIM region {base:#x}+{len:#x} overflows the address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
 /// Classifies addresses into cacheable host traffic and uncacheable PIM
 /// traffic, by address range (the driver's reserved region).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,13 +53,20 @@ pub struct BypassPolicy {
 impl BypassPolicy {
     /// A policy over the region `[base, base + len)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty or overflowing region.
-    pub fn new(base: u64, len: u64) -> BypassPolicy {
-        let end = base.checked_add(len).expect("region overflows the address space");
-        assert!(len > 0, "empty PIM region");
-        BypassPolicy { pim_base: base, pim_end: end }
+    /// Rejects an empty region ([`RegionError::Empty`]) before anything
+    /// else — a zero-length request is a caller bug regardless of `base` —
+    /// and then a region whose end would overflow the address space
+    /// ([`RegionError::Overflow`]). This constructor sits on the runtime
+    /// recovery path (host-fallback execution for quarantined channels),
+    /// so it reports failure instead of panicking.
+    pub fn new(base: u64, len: u64) -> Result<BypassPolicy, RegionError> {
+        if len == 0 {
+            return Err(RegionError::Empty);
+        }
+        let end = base.checked_add(len).ok_or(RegionError::Overflow { base, len })?;
+        Ok(BypassPolicy { pim_base: base, pim_end: end })
     }
 
     /// `true` if an access to `addr` must bypass the cache hierarchy and
@@ -70,7 +104,8 @@ pub fn pollution_experiment(
 ) -> PollutionResult {
     assert!(hot_bytes <= llc_bytes as u64 / 2, "hot set must be cache-resident");
     let stream_base = 1u64 << 40;
-    let policy = BypassPolicy::new(stream_base, stream_bytes);
+    let policy = BypassPolicy::new(stream_base, stream_bytes)
+        .expect("experiment stream region is non-empty and fits the address space");
     let line = llc_line as u64;
 
     let run = |bypass: bool| -> f64 {
@@ -117,7 +152,7 @@ mod tests {
 
     #[test]
     fn policy_classifies_by_range() {
-        let p = BypassPolicy::new(0x1000, 0x1000);
+        let p = BypassPolicy::new(0x1000, 0x1000).unwrap();
         assert!(!p.bypasses(0xFFF));
         assert!(p.bypasses(0x1000));
         assert!(p.bypasses(0x1FFF));
@@ -148,8 +183,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_region_rejected() {
-        BypassPolicy::new(0, 0);
+    fn empty_and_overflowing_regions_rejected() {
+        assert_eq!(BypassPolicy::new(0, 0), Err(RegionError::Empty));
+        // Empty wins even when the base is pathological: a zero-length
+        // request is a caller bug regardless of where it points.
+        assert_eq!(BypassPolicy::new(u64::MAX, 0), Err(RegionError::Empty));
+        assert_eq!(
+            BypassPolicy::new(u64::MAX, 2),
+            Err(RegionError::Overflow { base: u64::MAX, len: 2 })
+        );
+        // A region ending exactly at the top of the address space is fine.
+        assert!(BypassPolicy::new(u64::MAX - 4, 4).is_ok());
     }
 }

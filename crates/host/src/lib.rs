@@ -32,7 +32,7 @@ pub mod parallel;
 mod system;
 mod threads;
 
-pub use bypass::BypassPolicy;
+pub use bypass::{BypassPolicy, RegionError};
 pub use config::HostConfig;
 pub use engine::{Batch, ExecutionMode, KernelEngine, KernelResult};
 pub use llc::Llc;

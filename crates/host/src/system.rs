@@ -6,6 +6,7 @@ use pim_core::{PimChannel, PimConfig};
 use pim_dram::{
     AddressMapping, ControllerConfig, Cycle, MemoryController, SchedulingPolicy, TimingParams,
 };
+use pim_faults::FaultPlan;
 
 /// The paper's evaluation system: an unmodified host processor 2.5D-
 /// integrated with `stacks × 16` pseudo channels of PIM-HBM, each behind
@@ -121,6 +122,22 @@ impl PimSystem {
     /// Sum of PIM triggers across all channels (work actually executed).
     pub fn total_pim_triggers(&self) -> u64 {
         self.channels.iter().map(|c| c.sink().stats().pim_triggers).sum()
+    }
+
+    /// Installs a seeded fault plan on every channel: the device-level
+    /// command injector plus per-bank cell faults, each salted with the
+    /// system-level channel index so channels fault independently. Never
+    /// calling this (the default) keeps the system bit-identical to a
+    /// build without fault support.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for (i, c) in self.channels.iter_mut().enumerate() {
+            c.sink_mut().install_faults(plan, i as u16);
+        }
+    }
+
+    /// Channels whose PIM units are hard-failed by the installed plan.
+    pub fn hard_failed_channels(&self) -> Vec<usize> {
+        (0..self.channels.len()).filter(|&i| self.channels[i].sink().hard_failed()).collect()
     }
 }
 

@@ -41,6 +41,24 @@ pub const DEV_CRF_LOADS: &str = "dev.crf_loads";
 pub const DEV_PIM_TRIGGERS: &str = "dev.pim_triggers";
 /// Counter: cycles PIM units spent executing triggered instructions.
 pub const DEV_UNIT_BUSY_CYCLES: &str = "dev.unit_busy_cycles";
+/// Counter: device-level faults injected (dropped/corrupted commands and
+/// mode-machine glitches) by an installed fault plan.
+pub const DEV_FAULTS_INJECTED: &str = "dev.faults_injected";
+
+/// Counter: ECC scrub passes over resident operand blocks.
+pub const RES_SCRUBS: &str = "res.scrubs";
+/// Counter: single-bit errors corrected in place by the scrub path.
+pub const RES_ECC_CORRECTED: &str = "res.ecc_corrected";
+/// Counter: uncorrectable (multi-bit) errors detected by the scrub path.
+pub const RES_ECC_DETECTED: &str = "res.ecc_detected";
+/// Counter: blocks re-stored from the host-side golden copy.
+pub const RES_BLOCKS_RESTORED: &str = "res.blocks_restored";
+/// Counter: kernel launches retried after a detected wrong result.
+pub const RES_RETRIES: &str = "res.retries";
+/// Counter: channels quarantined (removed from the active layout).
+pub const RES_QUARANTINED: &str = "res.quarantined_channels";
+/// Counter: result blocks computed host-side after PIM recovery failed.
+pub const RES_HOST_FALLBACK_BLOCKS: &str = "res.host_fallback_blocks";
 
 /// Counter: cycles the host spent draining fences.
 pub const ENGINE_FENCE_STALL_CYCLES: &str = "engine.fence_stall_cycles";

@@ -112,6 +112,14 @@ impl PimContext {
         r.set_gauge(pim_obs::names::BANK_CLOSED_CYCLES, closed as f64);
     }
 
+    /// Installs a seeded fault plan across the simulated system (see
+    /// `pim_faults`). Off by default: a context that never calls this is
+    /// bit-identical — cycle counts, command counts, results — to one
+    /// built before fault support existed.
+    pub fn inject_faults(&mut self, plan: &pim_faults::FaultPlan) {
+        self.sys.install_faults(plan);
+    }
+
     /// Frees all PIM memory (arena reset between benchmarks).
     pub fn reset_memory(&mut self) {
         self.mm.reset();

@@ -151,8 +151,12 @@ impl MemoryManager {
     /// common offset.
     pub fn alloc_rows_lockstep(&mut self, rows: u32) -> Result<u32, AllocError> {
         // A lock-step region must start at the same row everywhere: take
-        // the max of all bump pointers, then advance everyone past it.
-        let base = *self.next_row.iter().max().expect("at least one unit");
+        // the max of all bump pointers, then advance everyone past it. A
+        // manager with no units (a zero-channel or zero-unit boot) can
+        // satisfy nothing.
+        let Some(&base) = self.next_row.iter().max() else {
+            return Err(AllocError { channel: 0, unit: 0, requested: rows, available: 0 });
+        };
         let available = self.reserved_rows.saturating_sub(base);
         if rows > available {
             return Err(AllocError { channel: 0, unit: 0, requested: rows, available });

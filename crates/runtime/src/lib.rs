@@ -45,6 +45,7 @@ pub mod kernels;
 pub mod layout;
 pub mod ops;
 mod preprocessor;
+pub mod resilience;
 pub mod script;
 pub mod vmem;
 
@@ -57,4 +58,5 @@ pub use kernels::{gemv_microkernel, stream_microkernel, StreamOp};
 pub use layout::BlockMap;
 pub use pim_host::ExecutionBackend;
 pub use preprocessor::{ExecutionTarget, Preprocessor};
+pub use resilience::{resilient_add, ResilienceConfig, ResilienceReport};
 pub use script::{ScriptError, ScriptSession};

@@ -134,7 +134,7 @@ impl ScriptSession {
                 continue;
             }
             let mut toks = text.split_whitespace();
-            let cmd = toks.next().expect("nonempty");
+            let Some(cmd) = toks.next() else { continue };
             let rest: Vec<&str> = toks.collect();
             match cmd {
                 "mode" => match rest.as_slice() {
