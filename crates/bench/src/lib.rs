@@ -18,6 +18,7 @@ pub mod micro;
 pub mod parallel;
 pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod workloads;
 
 pub use micro::MicroResult;

@@ -108,6 +108,16 @@ pub enum ExecutionMode {
     },
 }
 
+/// The outcome of a bounded (watchdog-limited) kernel run on one channel:
+/// the usual accounting plus whether the cycle limit fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedResult {
+    /// Accounting for the commands that actually issued.
+    pub result: KernelResult,
+    /// Whether the cycle limit fired — at least one data batch was skipped.
+    pub cancelled: bool,
+}
+
 /// The outcome of running a kernel on one channel or across the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelResult {
@@ -162,6 +172,35 @@ impl KernelEngine {
         batches: &[Batch],
         mode: ExecutionMode,
     ) -> KernelResult {
+        Self::run_on_channel_bounded(host, ctrl, batches, mode, None).result
+    }
+
+    /// [`KernelEngine::run_on_channel`] with a cooperative cancellation
+    /// point in the batch loop: once the channel's local clock reaches
+    /// `limit`, remaining **data** batches (commutative or fenced) are
+    /// skipped, while setup/teardown batches (mode transitions, CRF
+    /// programming, `pim_off`/`exit_ab`) still issue so the device is left
+    /// in a clean single-bank state. A `limit` of `None` is bit-identical
+    /// to the unbounded run.
+    ///
+    /// The check is against the channel's own deterministic clock, so a
+    /// bounded run cancels at exactly the same batch under every execution
+    /// backend. Under [`ExecutionMode::UnfencedReordered`] (a demo mode
+    /// with a single flattened stream) the limit is only checked once, on
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// As for [`KernelEngine::run_on_channel`].
+    pub fn run_on_channel_bounded(
+        host: &HostConfig,
+        ctrl: &mut MemoryController<PimChannel>,
+        batches: &[Batch],
+        mode: ExecutionMode,
+        limit: Option<Cycle>,
+    ) -> BoundedResult {
+        let mut cancelled = false;
+        let over = |now: Cycle| limit.is_some_and(|l| now >= l);
         let t = ctrl.sink().timing().clone();
         let rec: Option<Recorder> = ctrl.recorder().cloned();
         let scope = Scope::channel(ctrl.channel_id());
@@ -194,6 +233,17 @@ impl KernelEngine {
                 for (&slot, cmd) in shuffle_slots.iter().zip(cols) {
                     order_buf[slot] = cmd;
                 }
+                if over(ctrl.now()) && !shuffle_slots.is_empty() {
+                    // Entry-time cancellation: drop the data-phase columns,
+                    // keep the setup/teardown skeleton.
+                    cancelled = true;
+                    let mut keep = vec![true; order_buf.len()];
+                    for &slot in &shuffle_slots {
+                        keep[slot] = false;
+                    }
+                    let mut it = keep.iter();
+                    order_buf.retain(|_| *it.next().unwrap_or(&true));
+                }
                 commands += order_buf.len() as u64;
                 if let Some(r) = &rec {
                     r.begin(ctrl.now(), "unfenced_stream", names::CAT_BATCH, scope);
@@ -211,6 +261,10 @@ impl KernelEngine {
             }
             ExecutionMode::Ordered => {
                 for (bi, b) in batches.iter().enumerate() {
+                    if (b.commutative || b.fence_after) && over(ctrl.now()) {
+                        cancelled = true;
+                        continue;
+                    }
                     commands += b.commands.len() as u64;
                     if let Some(r) = &rec {
                         r.begin(ctrl.now(), b.span_name(bi), names::CAT_BATCH, scope);
@@ -229,6 +283,13 @@ impl KernelEngine {
             }
             ExecutionMode::Fenced { reorder_seed } => {
                 for (bi, b) in batches.iter().enumerate() {
+                    if (b.commutative || b.fence_after) && over(ctrl.now()) {
+                        // The watchdog's cancellation point: data batches
+                        // (and their fences) stop issuing; the teardown
+                        // choreography still runs.
+                        cancelled = true;
+                        continue;
+                    }
                     let cmds: Vec<Command> = match reorder_seed {
                         Some(seed) if b.commutative && b.commands.len() > 1 => {
                             let mut rng = SmallRng::seed_from_u64(seed ^ bi as u64);
@@ -270,7 +331,10 @@ impl KernelEngine {
                 }
             }
         }
-        KernelResult { end_cycle: ctrl.now(), commands, fences }
+        BoundedResult {
+            result: KernelResult { end_cycle: ctrl.now(), commands, fences },
+            cancelled,
+        }
     }
 
     /// Runs per-channel batch lists across the system concurrently (each
@@ -295,22 +359,51 @@ impl KernelEngine {
         per_channel: &[Vec<Batch>],
         mode: ExecutionMode,
     ) -> KernelResult {
+        Self::run_system_bounded(sys, per_channel, mode, None).0
+    }
+
+    /// [`KernelEngine::run_system`] under a watchdog cycle limit: every
+    /// channel runs through [`KernelEngine::run_on_channel_bounded`], and
+    /// the returned vector flags, per batch list, whether that channel's
+    /// run was cancelled. A `limit` of `None` is bit-identical to
+    /// [`KernelEngine::run_system`].
+    ///
+    /// Cancellation is decided against each channel's own deterministic
+    /// clock, so the flag vector — like the merged result — is identical
+    /// under the sequential and threaded backends.
+    ///
+    /// # Panics
+    ///
+    /// As for [`KernelEngine::run_system`].
+    pub fn run_system_bounded(
+        sys: &mut PimSystem,
+        per_channel: &[Vec<Batch>],
+        mode: ExecutionMode,
+        limit: Option<Cycle>,
+    ) -> (KernelResult, Vec<bool>) {
         assert!(per_channel.len() <= sys.channel_count(), "more batch lists than channels");
         match sys.backend() {
             crate::ExecutionBackend::Sequential => {
                 let host = sys.host.clone();
-                let results: Vec<KernelResult> = per_channel
+                let bounded: Vec<BoundedResult> = per_channel
                     .iter()
                     .enumerate()
                     .map(|(i, batches)| {
-                        Self::run_on_channel(&host, sys.channel_mut(i), batches, mode)
+                        Self::run_on_channel_bounded(
+                            &host,
+                            sys.channel_mut(i),
+                            batches,
+                            mode,
+                            limit,
+                        )
                     })
                     .collect();
-                let merged = KernelResult::merged(results);
-                KernelResult { end_cycle: sys.barrier(), ..merged }
+                let cancelled = bounded.iter().map(|b| b.cancelled).collect();
+                let merged = KernelResult::merged(bounded.into_iter().map(|b| b.result));
+                (KernelResult { end_cycle: sys.barrier(), ..merged }, cancelled)
             }
             crate::ExecutionBackend::Threads(n) => {
-                crate::parallel::run_system_threads(sys, per_channel, mode, n)
+                crate::parallel::run_system_threads(sys, per_channel, mode, n, limit)
             }
         }
     }
@@ -551,6 +644,115 @@ mod tests {
             assert_eq!(par_metrics, seq_metrics);
             // And the recorder is reattached: a later sequential-style use
             // still records.
+        }
+    }
+
+    #[test]
+    fn unbounded_limit_is_bit_identical_to_plain_run() {
+        let mut sys = system();
+        let plain = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            sys.channel_mut(0),
+            &simple_batches(),
+            ExecutionMode::Fenced { reorder_seed: None },
+        );
+        let bounded = KernelEngine::run_on_channel_bounded(
+            &HostConfig::paper(),
+            sys.channel_mut(1),
+            &simple_batches(),
+            ExecutionMode::Fenced { reorder_seed: None },
+            None,
+        );
+        assert_eq!(bounded.result, plain);
+        assert!(!bounded.cancelled);
+    }
+
+    #[test]
+    fn zero_limit_cancels_data_batches_but_issues_teardown() {
+        let mut sys = system();
+        let b = BankAddr::new(0, 0);
+        // ACT (setup) + 8 reads (data) + PRE (setup): with limit 0 the
+        // data batch is skipped, the row-management skeleton still issues.
+        let bounded = KernelEngine::run_on_channel_bounded(
+            &HostConfig::paper(),
+            sys.channel_mut(0),
+            &simple_batches(),
+            ExecutionMode::Fenced { reorder_seed: None },
+            Some(0),
+        );
+        assert!(bounded.cancelled);
+        assert_eq!(bounded.result.commands, 2, "ACT and PRE only");
+        assert_eq!(bounded.result.fences, 0, "skipped batches skip their fences");
+        let stats = sys.channel(0).sink().dram().stats();
+        assert_eq!(stats.reads, 0);
+        assert_eq!(stats.acts, 1);
+        let _ = b;
+    }
+
+    #[test]
+    fn mid_kernel_limit_cancels_later_batches_deterministically() {
+        // Find a limit that lands between the first and second data batch.
+        let b = BankAddr::new(0, 0);
+        let batches = vec![
+            Batch::setup(vec![Command::Act { bank: b, row: 1 }]),
+            Batch::commutative((0..4).map(|c| Command::Rd { bank: b, col: c }).collect()),
+            Batch::commutative((4..8).map(|c| Command::Rd { bank: b, col: c }).collect()),
+            Batch::setup(vec![Command::Pre { bank: b }]),
+        ];
+        let mut probe = system();
+        let full = KernelEngine::run_on_channel(
+            &HostConfig::paper(),
+            probe.channel_mut(0),
+            &batches,
+            ExecutionMode::Fenced { reorder_seed: None },
+        );
+        // A limit of 1 lets the first data batch start (clock still low)
+        // and cancels the second (clock past the first fence).
+        let mut sys = system();
+        let bounded = KernelEngine::run_on_channel_bounded(
+            &HostConfig::paper(),
+            sys.channel_mut(0),
+            &batches,
+            ExecutionMode::Fenced { reorder_seed: None },
+            Some(1),
+        );
+        assert!(bounded.cancelled);
+        assert_eq!(sys.channel(0).sink().dram().stats().reads, 4, "first data batch only");
+        assert!(bounded.result.end_cycle < full.end_cycle);
+        // And a rerun lands on exactly the same cycle.
+        let mut sys2 = system();
+        let again = KernelEngine::run_on_channel_bounded(
+            &HostConfig::paper(),
+            sys2.channel_mut(0),
+            &batches,
+            ExecutionMode::Fenced { reorder_seed: None },
+            Some(1),
+        );
+        assert_eq!(again, bounded);
+    }
+
+    #[test]
+    fn bounded_system_run_matches_across_backends() {
+        let per_channel: Vec<Vec<Batch>> = (0..16).map(|_| simple_batches()).collect();
+        let mut seq = system();
+        let (seq_r, seq_c) = KernelEngine::run_system_bounded(
+            &mut seq,
+            &per_channel,
+            ExecutionMode::Fenced { reorder_seed: None },
+            Some(0),
+        );
+        assert!(seq_c.iter().all(|&c| c), "every channel over budget cancels");
+        for workers in [2, 4] {
+            let mut par = system();
+            par.set_backend(crate::ExecutionBackend::Threads(workers));
+            let (par_r, par_c) = KernelEngine::run_system_bounded(
+                &mut par,
+                &per_channel,
+                ExecutionMode::Fenced { reorder_seed: None },
+                Some(0),
+            );
+            assert_eq!(par_r, seq_r, "{workers} workers");
+            assert_eq!(par_c, seq_c, "{workers} workers");
         }
     }
 

@@ -34,7 +34,7 @@ mod threads;
 
 pub use bypass::{BypassPolicy, RegionError};
 pub use config::HostConfig;
-pub use engine::{Batch, ExecutionMode, KernelEngine, KernelResult};
+pub use engine::{Batch, BoundedResult, ExecutionMode, KernelEngine, KernelResult};
 pub use llc::Llc;
 pub use parallel::ExecutionBackend;
 pub use system::PimSystem;

@@ -39,10 +39,10 @@
 //! smuggle `&mut` controllers across an API boundary for no measured gain.
 
 use crate::config::HostConfig;
-use crate::engine::{Batch, ExecutionMode, KernelEngine, KernelResult};
+use crate::engine::{Batch, BoundedResult, ExecutionMode, KernelEngine, KernelResult};
 use crate::system::PimSystem;
 use pim_core::PimChannel;
-use pim_dram::MemoryController;
+use pim_dram::{Cycle, MemoryController};
 use pim_obs::Recorder;
 
 /// How [`crate::KernelEngine::run_system`] distributes channels.
@@ -141,21 +141,24 @@ fn merge_and_restore(sys: &mut PimSystem, swapped: Vec<SwappedRecorders>) {
     }
 }
 
-/// Runs `per_channel` batch lists across `workers` scoped threads; the
-/// caller (`run_system`) has already validated the list count.
+/// Runs `per_channel` batch lists across `workers` scoped threads under an
+/// optional watchdog cycle limit; the caller (`run_system_bounded`) has
+/// already validated the list count. Returns the merged result plus the
+/// per-channel cancelled flags in channel-index order.
 pub(crate) fn run_system_threads(
     sys: &mut PimSystem,
     per_channel: &[Vec<Batch>],
     mode: ExecutionMode,
     workers: usize,
-) -> KernelResult {
+    limit: Option<Cycle>,
+) -> (KernelResult, Vec<bool>) {
     let n = per_channel.len();
     let host: HostConfig = sys.host.clone();
     let swapped = detach_recorders(sys, n);
 
     let workers = workers.max(1).min(n.max(1));
     let chunk_len = n.div_ceil(workers.max(1)).max(1);
-    let mut results: Vec<KernelResult> = Vec::with_capacity(n);
+    let mut results: Vec<BoundedResult> = Vec::with_capacity(n);
     let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
     {
         let channels: &mut [MemoryController<PimChannel>] = sys.channels_mut();
@@ -170,9 +173,9 @@ pub(crate) fn run_system_threads(
                         .iter_mut()
                         .zip(batch_chunk)
                         .map(|(ctrl, batches)| {
-                            KernelEngine::run_on_channel(host, ctrl, batches, mode)
+                            KernelEngine::run_on_channel_bounded(host, ctrl, batches, mode, limit)
                         })
-                        .collect::<Vec<KernelResult>>()
+                        .collect::<Vec<BoundedResult>>()
                 }));
             }
             // Join in spawn (= channel) order so `results` concatenates to
@@ -192,8 +195,9 @@ pub(crate) fn run_system_threads(
         std::panic::resume_unwind(e);
     }
 
-    let merged = KernelResult::merged(results);
-    KernelResult { end_cycle: sys.barrier(), ..merged }
+    let cancelled = results.iter().map(|b| b.cancelled).collect();
+    let merged = KernelResult::merged(results.into_iter().map(|b| b.result));
+    (KernelResult { end_cycle: sys.barrier(), ..merged }, cancelled)
 }
 
 #[cfg(test)]

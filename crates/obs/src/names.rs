@@ -60,6 +60,33 @@ pub const RES_QUARANTINED: &str = "res.quarantined_channels";
 /// Counter: result blocks computed host-side after PIM recovery failed.
 pub const RES_HOST_FALLBACK_BLOCKS: &str = "res.host_fallback_blocks";
 
+/// Counter: requests submitted to the serving layer.
+pub const SRV_SUBMITTED: &str = "srv.submitted";
+/// Counter: requests admitted into a tenant queue.
+pub const SRV_ADMITTED: &str = "srv.admitted";
+/// Counter: requests shed because the tenant's bounded queue was full.
+pub const SRV_SHED_QUEUE_FULL: &str = "srv.shed_queue_full";
+/// Counter: requests shed because the estimated backlog exceeded the
+/// admission controller's cycle budget.
+pub const SRV_SHED_OVERLOADED: &str = "srv.shed_overloaded";
+/// Counter: requests completed on PIM within their deadline.
+pub const SRV_COMPLETED: &str = "srv.completed";
+/// Counter: requests that missed their deadline (expired in queue, or
+/// finished past it).
+pub const SRV_DEADLINE_MISSED: &str = "srv.deadline_missed";
+/// Counter: kernel launches cancelled by the sim-cycle watchdog.
+pub const SRV_WATCHDOG_CANCELS: &str = "srv.watchdog_cancels";
+/// Counter: circuit breakers tripped open on a channel group.
+pub const SRV_BREAKER_TRIPS: &str = "srv.breaker_trips";
+/// Counter: circuit breakers moved from open to half-open after cooldown.
+pub const SRV_BREAKER_HALF_OPENS: &str = "srv.breaker_half_opens";
+/// Counter: circuit breakers closed again after a successful probe.
+pub const SRV_BREAKER_CLOSES: &str = "srv.breaker_closes";
+/// Counter: operand re-layouts over a reduced channel-group set.
+pub const SRV_RELAYOUTS: &str = "srv.relayouts";
+/// Counter: requests computed host-side by the degradation policy.
+pub const SRV_HOST_FALLBACKS: &str = "srv.host_fallbacks";
+
 /// Counter: cycles the host spent draining fences.
 pub const ENGINE_FENCE_STALL_CYCLES: &str = "engine.fence_stall_cycles";
 /// Counter: fences executed.

@@ -57,6 +57,14 @@ pub enum PimError {
         /// The verifier's full diagnostic report.
         report: pim_verify::Report,
     },
+    /// A runtime invariant was violated (a malformed kernel layout, a
+    /// rejected device command). These indicate a bug in the runtime
+    /// rather than bad user input, but they surface as typed errors so
+    /// library callers are never torn down by a panic.
+    Internal {
+        /// Description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -68,6 +76,7 @@ impl fmt::Display for PimError {
             PimError::InvalidKernel { report } => {
                 write!(f, "kernel rejected by pim-verify:\n{report}")
             }
+            PimError::Internal { detail } => write!(f, "runtime invariant violated: {detail}"),
         }
     }
 }
@@ -317,7 +326,7 @@ impl PimBlas {
         let mut out = vec![0.0f32; dim];
         for d in 0..dim_blocks {
             let (ch, u, _) = map.locate(d);
-            let grf = Executor::read_grf_a(ctx, ch, u);
+            let grf = Executor::try_read_grf_a(ctx, ch, u)?;
             for (l, lane) in grf[0].lanes().iter().enumerate() {
                 let dd = d * 16 + l;
                 if dd < dim {
@@ -378,6 +387,17 @@ impl PimBlas {
         // Place operands (Fig. 15(b) interleaving).
         let (x_col, y_col, z_col) = stream_columns(op, &cfg);
         let two_bank = cfg.variant == PimVariant::TwoBankAccess;
+        // On the 1-bank variant a two-operand op must have been assigned a
+        // second column by `stream_columns`; a miss is a kernel-table bug.
+        let y_plain_col = match (y, two_bank, y_col) {
+            (Some(_), false, None) => {
+                return Err(PimError::Internal {
+                    detail: format!("stream op {op_name} has no second-operand column"),
+                })
+            }
+            (Some(_), false, Some(c)) => Some(c),
+            _ => None,
+        };
         let xb = layout::f32_to_blocks(x);
         let yb = y.map(layout::f32_to_blocks);
         for b in 0..nblocks {
@@ -386,17 +406,11 @@ impl PimBlas {
             let coff = slot as u32 % GROUP;
             layout::store_block(&mut ctx.sys, ch, u, row, x_col + coff, &xb[b]);
             if let Some(ref yb) = yb {
-                if two_bank {
-                    layout::store_block_odd(&mut ctx.sys, ch, u, row, x_col + coff, &yb[b]);
-                } else {
-                    layout::store_block(
-                        &mut ctx.sys,
-                        ch,
-                        u,
-                        row,
-                        y_col.expect("two-operand layout") + coff,
-                        &yb[b],
-                    );
+                match y_plain_col {
+                    Some(yc) => {
+                        layout::store_block(&mut ctx.sys, ch, u, row, yc + coff, &yb[b]);
+                    }
+                    None => layout::store_block_odd(&mut ctx.sys, ch, u, row, x_col + coff, &yb[b]),
                 }
             }
         }
@@ -525,7 +539,7 @@ impl PimBlas {
                     if out_base >= n {
                         continue;
                     }
-                    let grfb = Executor::read_grf_b(ctx, ch, u);
+                    let grfb = Executor::try_read_grf_b(ctx, ch, u)?;
                     for l in 0..BLOCK_ELEMS {
                         let o = out_base + l;
                         if o < n {

@@ -156,18 +156,61 @@ impl Executor {
 
     /// Reads GRF_A[0..8] of (`ch`, `unit`) back through the memory-mapped
     /// GRF row in single-bank mode (columns 0-7). Timed.
+    ///
+    /// # Panics
+    ///
+    /// If the device rejects a readback command (the channel was left in a
+    /// non-single-bank mode); use [`Executor::try_read_grf_a`] to handle
+    /// it as a typed error.
     pub fn read_grf_a(ctx: &mut PimContext, ch: usize, unit: usize) -> [LaneVec; 8] {
-        Self::read_grf(ctx, ch, unit, 0)
+        Self::try_read_grf_a(ctx, ch, unit).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Reads GRF_B[0..8] of (`ch`, `unit`) back through the memory-mapped
     /// GRF row in single-bank mode. Timed: the commands advance the
     /// channel's clock.
+    ///
+    /// # Panics
+    ///
+    /// If the device rejects a readback command; use
+    /// [`Executor::try_read_grf_b`] to handle it as a typed error.
     pub fn read_grf_b(ctx: &mut PimContext, ch: usize, unit: usize) -> [LaneVec; 8] {
+        Self::try_read_grf_b(ctx, ch, unit).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Executor::read_grf_a`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::Internal`] if the device rejects a readback command —
+    /// the channel was left in a mode where the GRF row is not mapped.
+    pub fn try_read_grf_a(
+        ctx: &mut PimContext,
+        ch: usize,
+        unit: usize,
+    ) -> Result<[LaneVec; 8], PimError> {
+        Self::read_grf(ctx, ch, unit, 0)
+    }
+
+    /// Fallible [`Executor::read_grf_b`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::Internal`] if the device rejects a readback command.
+    pub fn try_read_grf_b(
+        ctx: &mut PimContext,
+        ch: usize,
+        unit: usize,
+    ) -> Result<[LaneVec; 8], PimError> {
         Self::read_grf(ctx, ch, unit, 8)
     }
 
-    fn read_grf(ctx: &mut PimContext, ch: usize, unit: usize, col_base: u32) -> [LaneVec; 8] {
+    fn read_grf(
+        ctx: &mut PimContext,
+        ch: usize,
+        unit: usize,
+        col_base: u32,
+    ) -> Result<[LaneVec; 8], PimError> {
         let bank = BankAddr::from_flat_index(2 * unit);
         let mut cmds = vec![Command::Act { bank, row: conf::GRF_ROW }];
         for i in 0..8u32 {
@@ -180,7 +223,9 @@ impl Executor {
         let mut next_reg = 0;
         for cmd in &cmds {
             let at = ctrl.sink().earliest_issue(cmd, now);
-            let outcome = ctrl.sink_mut().issue(cmd, at).expect("GRF readback command");
+            let outcome = ctrl.sink_mut().issue(cmd, at).map_err(|e| PimError::Internal {
+                detail: format!("GRF readback on channel {ch} unit {unit}: {cmd}: {e}"),
+            })?;
             now = at;
             if let Some(d) = outcome.data {
                 out[next_reg] = LaneVec::from_block(&d);
@@ -188,7 +233,7 @@ impl Executor {
             }
         }
         ctrl.advance_to(now);
-        out
+        Ok(out)
     }
 
     /// The execution-mode the paper's shipped system uses.

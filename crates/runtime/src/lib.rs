@@ -47,6 +47,7 @@ pub mod ops;
 mod preprocessor;
 pub mod resilience;
 pub mod script;
+pub mod serve;
 pub mod vmem;
 
 pub use blas::{KernelReport, PimBlas, PimError};
@@ -58,5 +59,9 @@ pub use kernels::{gemv_microkernel, stream_microkernel, StreamOp};
 pub use layout::BlockMap;
 pub use pim_host::ExecutionBackend;
 pub use preprocessor::{ExecutionTarget, Preprocessor};
-pub use resilience::{resilient_add, ResilienceConfig, ResilienceReport};
+pub use resilience::{resilient_add, FallbackReason, ResilienceConfig, ResilienceReport};
 pub use script::{ScriptError, ScriptSession};
+pub use serve::{
+    Disposition, RejectReason, RequestOutcome, ServeConfig, ServeOp, ServeReport, ServeRequest,
+    ServeStats, Server,
+};

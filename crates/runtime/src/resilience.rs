@@ -96,8 +96,23 @@ pub struct ResilienceReport {
     /// Elements still wrong in the returned vector (only possible with
     /// [`ResilienceConfig::host_fallback`] disabled).
     pub wrong_answers: u64,
+    /// Why the ladder left the PIM path, when it did. `None` on a call
+    /// that completed (or finished with wrong answers still pending
+    /// retries) on PIM.
+    pub fallback: Option<FallbackReason>,
     /// Aggregate cycle/command accounting across all launches.
     pub kernel: KernelReport,
+}
+
+/// Why the recovery ladder stopped trying PIM and went to the host path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Every channel ended up quarantined — there is no healthy channel
+    /// left to re-layout onto.
+    AllChannelsQuarantined,
+    /// More channels failed than [`ResilienceConfig::max_quarantine`]
+    /// allows removing from the layout.
+    QuarantineBudgetExceeded,
 }
 
 impl ResilienceReport {
@@ -239,6 +254,17 @@ pub fn resilient_add(
     let units = pim_cfg.units_per_pch;
     let two_bank = pim_cfg.variant == PimVariant::TwoBankAccess;
     let (x_col, y_col, z_col) = stream_columns(StreamOp::Add, &pim_cfg);
+    // On the 1-bank variant ADD must have a second-operand column; a miss
+    // is a kernel-table bug, surfaced as a typed error rather than a panic.
+    let y_plain_col = match (two_bank, y_col) {
+        (true, _) => None,
+        (false, Some(c)) => Some(c),
+        (false, None) => {
+            return Err(PimError::Internal {
+                detail: "stream ADD has no second-operand column".into(),
+            })
+        }
+    };
 
     let xb = layout::f32_to_blocks(x);
     let yb = layout::f32_to_blocks(y);
@@ -275,11 +301,9 @@ pub fn resilient_add(
             let (ch, u, _) = place.locate(b);
             let (row, coff) = place.slot_pos(b, base_row);
             layout::store_block(&mut ctx.sys, ch, u, row, x_col + coff, &xb[b]);
-            if two_bank {
-                layout::store_block_odd(&mut ctx.sys, ch, u, row, x_col + coff, &yb[b]);
-            } else {
-                let yc = y_col.expect("two-operand layout") + coff;
-                layout::store_block(&mut ctx.sys, ch, u, row, yc, &yb[b]);
+            match y_plain_col {
+                None => layout::store_block_odd(&mut ctx.sys, ch, u, row, x_col + coff, &yb[b]),
+                Some(yc) => layout::store_block(&mut ctx.sys, ch, u, row, yc + coff, &yb[b]),
             }
         }
 
@@ -294,10 +318,9 @@ pub fn resilient_add(
                 let (ch, u, _) = place.locate(b);
                 let (row, coff) = place.slot_pos(b, base_row);
                 scrub_block(ctx, ch, u, row, x_col + coff, false, &xb[b], &x_check[b], &mut rep);
-                let (yc, odd) = if two_bank {
-                    (x_col + coff, true)
-                } else {
-                    (y_col.expect("two-operand layout") + coff, false)
+                let (yc, odd) = match y_plain_col {
+                    None => (x_col + coff, true),
+                    Some(c) => (c + coff, false),
                 };
                 scrub_block(ctx, ch, u, row, yc, odd, &yb[b], &y_check[b], &mut rep);
             }
@@ -367,10 +390,16 @@ pub fn resilient_add(
         }
     }
 
-    // PIM recovery exhausted: host fallback for the still-wrong blocks.
-    // Operands live in the driver's uncacheable PIM region, so the host
-    // reads them through the bypass path (straight to DRAM); results land
-    // in normal cacheable memory through the LLC.
+    // PIM recovery exhausted: record why the ladder gave up (the typed
+    // reason callers branch on), then host fallback for the still-wrong
+    // blocks. Operands live in the driver's uncacheable PIM region, so the
+    // host reads them through the bypass path (straight to DRAM); results
+    // land in normal cacheable memory through the LLC.
+    rep.fallback = Some(if healthy.is_empty() {
+        FallbackReason::AllChannelsQuarantined
+    } else {
+        FallbackReason::QuarantineBudgetExceeded
+    });
     if cfg.host_fallback {
         let region_bytes = (nblocks as u64) * 2 * 32;
         let policy = BypassPolicy::new(1 << 40, region_bytes)
@@ -434,6 +463,7 @@ mod tests {
         assert!(rep.quarantined.is_empty());
         assert_eq!(rep.host_fallback_blocks, 0);
         assert_eq!(rep.wrong_answers, 0);
+        assert_eq!(rep.fallback, None);
     }
 
     #[test]
@@ -501,6 +531,32 @@ mod tests {
         assert_eq!(wrong, 0);
         assert_eq!(rep.host_fallback_blocks, 16, "256 elements = 16 blocks");
         assert_eq!(rep.quarantined.len(), 16);
+        assert_eq!(rep.fallback, Some(FallbackReason::AllChannelsQuarantined));
+    }
+
+    #[test]
+    fn quarantine_budget_exhaustion_is_a_distinct_reason() {
+        // Some (not all) channels hard-fail, but the budget allows removing
+        // none of them: the ladder must give up with the budget reason, not
+        // the all-quarantined one, and still return correct data host-side.
+        let mut plan = FaultPlan::quiet(0);
+        plan.chan_fail_rate = 0.2;
+        for seed in 0..1000 {
+            plan.seed = seed;
+            let failed = (0..16).filter(|&c| plan.channel_failed(c)).count();
+            if failed > 0 && failed < 8 {
+                break;
+            }
+        }
+        let mut ctx = PimContext::small_system();
+        ctx.inject_faults(&plan);
+        let (x, y) = vectors(512);
+        let cfg = ResilienceConfig { max_quarantine: 0, ..ResilienceConfig::default() };
+        let (z, rep) = resilient_add(&mut ctx, &x, &y, &cfg).unwrap();
+        let wrong = (0..512).filter(|&i| z[i] != x[i] + y[i]).count();
+        assert_eq!(wrong, 0, "{rep:?}");
+        assert_eq!(rep.fallback, Some(FallbackReason::QuarantineBudgetExceeded));
+        assert!(!rep.quarantined.is_empty() || rep.host_fallback_blocks > 0, "{rep:?}");
     }
 
     #[test]

@@ -80,12 +80,13 @@ impl ScriptSession {
     /// commands feed the metrics registry and event stream; idempotent.
     /// Returns a clone of the session's recorder.
     pub fn enable_profiling(&mut self) -> Recorder {
-        if self.recorder.is_none() {
-            let recorder = Recorder::vec();
-            self.channel.inner_mut().set_recorder(recorder.clone(), 0);
-            self.recorder = Some(recorder);
+        if let Some(recorder) = &self.recorder {
+            return recorder.clone();
         }
-        self.recorder.clone().expect("just set")
+        let recorder = Recorder::vec();
+        self.channel.inner_mut().set_recorder(recorder.clone(), 0);
+        self.recorder = Some(recorder.clone());
+        recorder
     }
 
     /// The session recorder, if profiling is enabled.

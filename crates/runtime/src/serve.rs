@@ -1,0 +1,1107 @@
+//! Deterministic multi-tenant serving over the PIM stack: admission
+//! control, deadlines, a sim-cycle watchdog, and per-channel-group circuit
+//! breakers.
+//!
+//! The paper's software stack (§VI) assumes a single well-behaved caller;
+//! §VIII notes that PIM-HBM "can support virtualization and multi-tenancy"
+//! because the host controls each channel independently. This module is
+//! the overload-and-failure story a production deployment of that claim
+//! needs, layered over [`PimContext`]/`KernelEngine`:
+//!
+//! 1. **Admission control** — bounded per-tenant FIFO queues with explicit
+//!    backpressure: a request that does not fit is shed with a typed
+//!    [`RejectReason`] (`QueueFull` when the tenant's queue is at
+//!    capacity, `Overloaded` when the estimated backlog exceeds the
+//!    configured cycle budget). Nothing in the serving path panics.
+//! 2. **Deadlines** — every request carries an absolute sim-cycle
+//!    deadline. Expired requests are dropped from the queues, and work
+//!    that finishes late is reported as [`Disposition::DeadlineMissed`].
+//! 3. **Watchdog** — each kernel launch runs under a cycle limit through
+//!    the engine's cooperative cancellation point
+//!    (`KernelEngine::run_system_bounded`): a launch that exceeds its
+//!    budget stops issuing data batches, the teardown choreography still
+//!    runs, and the implicated channel groups are charged with a failure.
+//! 4. **Circuit breakers** — one breaker per channel group counts
+//!    consecutive failures (wrong results or watchdog timeouts). A tripped
+//!    breaker opens the group, re-routing work to the survivors (the same
+//!    lock-step re-layout the resilience ladder uses); after a cycle-based
+//!    cooldown it half-opens and one probe launch decides whether it
+//!    closes again.
+//! 5. **Graceful degradation** — per request, chosen by deadline slack:
+//!    PIM over the available groups, re-layout over surviving groups after
+//!    a failure, host BLAS when no group is available or the slack no
+//!    longer covers the PIM estimate.
+//!
+//! # Determinism
+//!
+//! Every decision — admission, dispatch order, watchdog firing, breaker
+//! transitions, degradation — is a function of the simulated clock, the
+//! request trace, and seeded tie-break hashes. No wall-clock time, no
+//! ambient randomness. Combined with the backend-invariance contract of
+//! `pim_host::parallel`, a seeded trace produces a byte-identical
+//! [`ServeReport`] under `Sequential` and `Threads(n)` execution backends.
+//!
+//! Every action is counted under the `srv.*` names of [`pim_obs::names`]
+//! when profiling is enabled, and mirrored in [`ServeStats`] regardless.
+
+use crate::blas::PimError;
+use crate::context::PimContext;
+use crate::executor::Executor;
+use crate::kernels::{stream_batches, stream_columns, stream_microkernel, StreamOp, GROUP};
+use crate::layout::{self, BLOCK_ELEMS};
+use crate::preprocessor::Preprocessor;
+use pim_core::PimVariant;
+use pim_dram::Cycle;
+use pim_fp16::F16;
+use pim_host::{Batch, KernelEngine, KernelResult};
+use pim_obs::names;
+use std::collections::{BTreeMap, VecDeque};
+
+/// SplitMix64 finalizer for seeded tie-breaks (same mixing core as
+/// `pim-faults`; decisions must not depend on ambient state).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Knobs of the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded per-tenant queue depth; arrivals beyond it are shed with
+    /// [`RejectReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Admission budget: when the estimated backlog (queued work plus the
+    /// new request, in cycles) exceeds this, the arrival is shed with
+    /// [`RejectReason::Overloaded`].
+    pub max_backlog_cycles: u64,
+    /// Consecutive failures (wrong result or watchdog timeout) that trip a
+    /// channel group's breaker open.
+    pub breaker_threshold: u32,
+    /// Cycles a tripped breaker stays open before half-opening for a probe.
+    pub breaker_cooldown: Cycle,
+    /// Channels per breaker group (the quarantine/re-layout granularity).
+    pub channels_per_group: usize,
+    /// Default watchdog budget per kernel launch, in cycles (a request may
+    /// override it; the effective limit never extends past the deadline).
+    pub watchdog_budget: Cycle,
+    /// PIM attempts (initial launch plus re-layouts over surviving groups)
+    /// before the request degrades to the host.
+    pub max_attempts: u32,
+    /// Modelled host-fallback cost in cycles per element (the degradation
+    /// path advances the simulated clock by this, keeping deadline math
+    /// meaningful).
+    pub host_cycles_per_element: u64,
+    /// Seed of the cost model's cycles-per-element estimate before any
+    /// launch has been observed.
+    pub initial_cycles_per_element: u64,
+    /// Seed for deterministic tie-breaks (equal arrivals, equal deadlines).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 8,
+            max_backlog_cycles: 4_000_000,
+            breaker_threshold: 3,
+            breaker_cooldown: 500_000,
+            channels_per_group: 4,
+            watchdog_budget: 500_000,
+            max_attempts: 3,
+            host_cycles_per_element: 16,
+            initial_cycles_per_element: 64,
+            seed: 0x5E17,
+        }
+    }
+}
+
+/// The operation a request asks for (element-wise, FP16-exact on device).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOp {
+    /// `z = x + y`.
+    Add {
+        /// Left operand.
+        x: Vec<f32>,
+        /// Right operand.
+        y: Vec<f32>,
+    },
+    /// `z = x * y`.
+    Mul {
+        /// Left operand.
+        x: Vec<f32>,
+        /// Right operand.
+        y: Vec<f32>,
+    },
+}
+
+impl ServeOp {
+    fn stream_op(&self) -> StreamOp {
+        match self {
+            ServeOp::Add { .. } => StreamOp::Add,
+            ServeOp::Mul { .. } => StreamOp::Mul,
+        }
+    }
+
+    fn operands(&self) -> (&[f32], &[f32]) {
+        match self {
+            ServeOp::Add { x, y } | ServeOp::Mul { x, y } => (x, y),
+        }
+    }
+
+    /// The host-side oracle: the device computes exact FP16, so the FP16
+    /// result is bit-exact on a fault-free run. It doubles as the host
+    /// BLAS of the degradation ladder and as the integrity check a
+    /// production runtime would run at the application level.
+    fn host_reference(&self) -> Vec<f32> {
+        let (x, y) = self.operands();
+        x.iter()
+            .zip(y)
+            .map(|(&a, &b)| {
+                let (a, b) = (F16::from_f32(a), F16::from_f32(b));
+                match self {
+                    ServeOp::Add { .. } => (a + b).to_f32(),
+                    ServeOp::Mul { .. } => (a * b).to_f32(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One request to the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Tenant the request belongs to (its own bounded queue).
+    pub tenant: u32,
+    /// Arrival time in absolute sim cycles (open-loop traffic).
+    pub arrival: Cycle,
+    /// Absolute sim-cycle deadline.
+    pub deadline: Cycle,
+    /// Optional channel-group affinity: the request only runs on these
+    /// groups (a tenant's partition under §VIII multi-tenancy). `None`
+    /// means any group.
+    pub groups: Option<Vec<usize>>,
+    /// Optional per-request watchdog budget override, in cycles.
+    pub budget: Option<Cycle>,
+    /// The operation.
+    pub op: ServeOp,
+}
+
+/// Why a request was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's bounded queue was at capacity.
+    QueueFull,
+    /// The estimated backlog exceeded [`ServeConfig::max_backlog_cycles`].
+    Overloaded,
+}
+
+/// How a request ended. Every submitted request ends in exactly one of
+/// these — the serving layer never panics on load or faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Completed on PIM within the deadline; the verified result is in
+    /// [`RequestOutcome::result`].
+    Completed,
+    /// Shed by admission control with the given typed reason.
+    Shed(RejectReason),
+    /// Expired in queue, or finished past its deadline.
+    DeadlineMissed,
+    /// Computed host-side by the degradation policy (no healthy group, or
+    /// insufficient deadline slack for PIM).
+    FellBackToHost,
+}
+
+/// The record of one request's journey through the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Submission-order id (index into the trace given to [`Server::run`]).
+    pub id: usize,
+    /// The tenant.
+    pub tenant: u32,
+    /// Arrival cycle, as submitted.
+    pub arrival: Cycle,
+    /// Cycle execution started, if it did.
+    pub started: Option<Cycle>,
+    /// Cycle the request left the system.
+    pub finished: Cycle,
+    /// How it ended.
+    pub disposition: Disposition,
+    /// The result vector for `Completed` and `FellBackToHost`.
+    pub result: Option<Vec<f32>>,
+}
+
+/// Counters mirroring the `srv.*` observability names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests submitted ([`names::SRV_SUBMITTED`]).
+    pub submitted: u64,
+    /// Requests admitted into a queue ([`names::SRV_ADMITTED`]).
+    pub admitted: u64,
+    /// Sheds with [`RejectReason::QueueFull`].
+    pub shed_queue_full: u64,
+    /// Sheds with [`RejectReason::Overloaded`].
+    pub shed_overloaded: u64,
+    /// Requests completed on PIM in time.
+    pub completed: u64,
+    /// Deadline misses (queue expiry or late finish).
+    pub deadline_missed: u64,
+    /// Kernel launches cancelled by the watchdog.
+    pub watchdog_cancels: u64,
+    /// Breaker trips (closed/half-open → open).
+    pub breaker_trips: u64,
+    /// Breaker half-opens (open → probe allowed).
+    pub breaker_half_opens: u64,
+    /// Breaker closes (half-open → closed after a good probe).
+    pub breaker_closes: u64,
+    /// Re-layouts over a reduced group set.
+    pub relayouts: u64,
+    /// Requests computed host-side.
+    pub host_fallbacks: u64,
+}
+
+/// What one [`Server::run`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One outcome per submitted request, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Counter totals for this run.
+    pub stats: ServeStats,
+    /// Sim cycle at which the trace drained.
+    pub end_cycle: Cycle,
+}
+
+impl ServeReport {
+    /// Arrival-to-finish latencies (cycles) of requests that produced a
+    /// result (`Completed` and `FellBackToHost`), in submission order.
+    pub fn served_latencies(&self) -> Vec<Cycle> {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                matches!(o.disposition, Disposition::Completed | Disposition::FellBackToHost)
+            })
+            .map(|o| o.finished.saturating_sub(o.arrival))
+            .collect()
+    }
+}
+
+/// Per-group breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until: Cycle },
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    state: BreakerState,
+    failures: u32,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker { state: BreakerState::Closed, failures: 0 }
+    }
+
+    /// Whether the group may serve at `now`; transitions open → half-open
+    /// once the cooldown has elapsed.
+    fn admit(&mut self, now: Cycle, stats: &mut ServeStats) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    stats.breaker_half_opens += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn failure(&mut self, now: Cycle, cfg: &ServeConfig, stats: &mut ServeStats) {
+        self.failures += 1;
+        let reopen = matches!(self.state, BreakerState::HalfOpen);
+        if reopen || self.failures >= cfg.breaker_threshold {
+            if !matches!(self.state, BreakerState::Open { .. }) {
+                stats.breaker_trips += 1;
+            }
+            self.state = BreakerState::Open { until: now + cfg.breaker_cooldown };
+        }
+    }
+
+    fn success(&mut self, stats: &mut ServeStats) {
+        if matches!(self.state, BreakerState::HalfOpen) {
+            stats.breaker_closes += 1;
+        }
+        self.failures = 0;
+        self.state = BreakerState::Closed;
+    }
+}
+
+/// A request sitting in a tenant queue.
+#[derive(Debug)]
+struct Queued {
+    id: usize,
+    req: ServeRequest,
+    est_cycles: u64,
+}
+
+/// The deterministic multi-tenant scheduler. Owns a mutable borrow of the
+/// context for its lifetime; all state (queues, breakers, cost model) is
+/// carried across [`Server::run`] calls.
+#[derive(Debug)]
+pub struct Server<'a> {
+    ctx: &'a mut PimContext,
+    cfg: ServeConfig,
+    breakers: Vec<Breaker>,
+    queues: BTreeMap<u32, VecDeque<Queued>>,
+    stats: ServeStats,
+    /// Cost model: observed cycles per 1000 elements (EWMA, integer).
+    cpe_milli: u64,
+}
+
+impl<'a> Server<'a> {
+    /// Builds a server over `ctx` (clamps `channels_per_group` to at least
+    /// 1 and at most the channel count).
+    pub fn new(ctx: &'a mut PimContext, cfg: ServeConfig) -> Server<'a> {
+        let mut cfg = cfg;
+        cfg.channels_per_group = cfg.channels_per_group.clamp(1, ctx.sys.channel_count().max(1));
+        cfg.max_attempts = cfg.max_attempts.max(1);
+        let groups = ctx.sys.channel_count().div_ceil(cfg.channels_per_group);
+        let cpe_milli = cfg.initial_cycles_per_element.max(1) * 1000;
+        Server {
+            ctx,
+            cfg,
+            breakers: vec![Breaker::new(); groups],
+            queues: BTreeMap::new(),
+            stats: ServeStats::default(),
+            cpe_milli,
+        }
+    }
+
+    /// Number of channel groups (breaker domains).
+    pub fn group_count(&self) -> usize {
+        self.breakers.len()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Channels of group `g`.
+    fn group_channels(&self, g: usize) -> std::ops::Range<usize> {
+        let lo = g * self.cfg.channels_per_group;
+        lo..((g + 1) * self.cfg.channels_per_group).min(self.ctx.sys.channel_count())
+    }
+
+    fn group_of(&self, ch: usize) -> usize {
+        ch / self.cfg.channels_per_group
+    }
+
+    /// Estimated PIM cost of an `n`-element request under the cost model.
+    fn est_pim_cycles(&self, n: usize) -> u64 {
+        (n as u64).saturating_mul(self.cpe_milli) / 1000
+    }
+
+    /// Estimated service cost for admission purposes: the cheaper of the
+    /// PIM estimate and the host-fallback cost, since the degradation
+    /// policy will pick whichever path fits. Admission must not shed a
+    /// request the host could comfortably serve just because PIM is slow.
+    fn est_service_cycles(&self, n: usize) -> u64 {
+        self.est_pim_cycles(n).min((n as u64).saturating_mul(self.cfg.host_cycles_per_element))
+    }
+
+    /// Folds an observed launch into the cost model (3/4 old, 1/4 new —
+    /// integer EWMA, deterministic).
+    fn observe_cost(&mut self, cycles: Cycle, elements: usize) {
+        if elements == 0 {
+            return;
+        }
+        let new = cycles.saturating_mul(1000) / elements as u64;
+        self.cpe_milli = (3 * self.cpe_milli + new.max(1)) / 4;
+    }
+
+    /// Total estimated cycles of queued work.
+    fn backlog_cycles(&self) -> u64 {
+        self.queues.values().flatten().map(|q| q.est_cycles).sum()
+    }
+
+    /// Typed admission decision for one arrival at the current backlog.
+    fn admission(&self, tenant: u32, est: u64) -> Result<(), RejectReason> {
+        let depth = self.queues.get(&tenant).map_or(0, VecDeque::len);
+        if depth >= self.cfg.queue_capacity {
+            return Err(RejectReason::QueueFull);
+        }
+        if self.backlog_cycles().saturating_add(est) > self.cfg.max_backlog_cycles {
+            return Err(RejectReason::Overloaded);
+        }
+        Ok(())
+    }
+
+    /// Runs a whole open-loop trace to completion. Requests are processed
+    /// in arrival order (ties broken by the seeded hash, then submission
+    /// id); the queues drain under earliest-deadline-first dispatch.
+    ///
+    /// Returns one [`RequestOutcome`] per request, in submission order —
+    /// every request ends `Completed`, `Shed`, `DeadlineMissed`, or
+    /// `FellBackToHost`.
+    ///
+    /// # Errors
+    ///
+    /// Only plumbing failures surface as [`PimError`] (allocation larger
+    /// than the reserved region, strict-mode kernel rejection); load and
+    /// injected faults never do.
+    pub fn run(&mut self, requests: Vec<ServeRequest>) -> Result<ServeReport, PimError> {
+        let stats_before = self.stats;
+        let mut outcomes: Vec<Option<RequestOutcome>> = Vec::new();
+        outcomes.resize_with(requests.len(), || None);
+
+        // Arrival order with seeded tie-breaks: a deterministic total order
+        // even when two tenants' requests land on the same cycle.
+        let mut arrivals: Vec<(usize, ServeRequest)> = requests.into_iter().enumerate().collect();
+        arrivals.sort_by_key(|(id, r)| (r.arrival, mix(self.cfg.seed ^ *id as u64), *id));
+        let mut pending: VecDeque<(usize, ServeRequest)> = arrivals.into();
+
+        loop {
+            let now = self.ctx.sys.max_now();
+
+            // 1. Admit everything that has arrived by `now`.
+            while pending.front().is_some_and(|(_, r)| r.arrival <= now) {
+                let (id, req) = pending.pop_front().unwrap_or_else(|| unreachable!());
+                self.stats.submitted += 1;
+                let n = req.op.operands().0.len();
+                let est = self.est_service_cycles(n);
+                match self.admission(req.tenant, est) {
+                    Ok(()) => {
+                        self.stats.admitted += 1;
+                        self.queues.entry(req.tenant).or_default().push_back(Queued {
+                            id,
+                            req,
+                            est_cycles: est,
+                        });
+                    }
+                    Err(reason) => {
+                        match reason {
+                            RejectReason::QueueFull => self.stats.shed_queue_full += 1,
+                            RejectReason::Overloaded => self.stats.shed_overloaded += 1,
+                        }
+                        outcomes[id] = Some(RequestOutcome {
+                            id,
+                            tenant: req.tenant,
+                            arrival: req.arrival,
+                            started: None,
+                            finished: now,
+                            disposition: Disposition::Shed(reason),
+                            result: None,
+                        });
+                    }
+                }
+            }
+
+            // 2. Purge queued requests whose deadline already passed.
+            for queue in self.queues.values_mut() {
+                queue.retain(|q| {
+                    if q.req.deadline > now {
+                        return true;
+                    }
+                    self.stats.deadline_missed += 1;
+                    outcomes[q.id] = Some(RequestOutcome {
+                        id: q.id,
+                        tenant: q.req.tenant,
+                        arrival: q.req.arrival,
+                        started: None,
+                        finished: now,
+                        disposition: Disposition::DeadlineMissed,
+                        result: None,
+                    });
+                    false
+                });
+            }
+
+            // 3. Dispatch: earliest deadline among the queue heads (FIFO
+            //    within a tenant), seeded tie-break across tenants.
+            let next = self
+                .queues
+                .iter()
+                .filter_map(|(&tenant, q)| q.front().map(|h| (tenant, h)))
+                .min_by_key(|(_, h)| (h.req.deadline, mix(self.cfg.seed ^ h.id as u64), h.id))
+                .map(|(tenant, _)| tenant);
+
+            match next {
+                Some(tenant) => {
+                    let queued = self
+                        .queues
+                        .get_mut(&tenant)
+                        .and_then(VecDeque::pop_front)
+                        .unwrap_or_else(|| unreachable!("head vanished"));
+                    let outcome = self.execute(queued)?;
+                    let id = outcome.id;
+                    outcomes[id] = Some(outcome);
+                }
+                None => match pending.front() {
+                    // Idle until the next arrival: the host sleeps, every
+                    // channel's clock advances.
+                    Some((_, r)) => {
+                        let t = r.arrival;
+                        for i in 0..self.ctx.sys.channel_count() {
+                            self.ctx.sys.channel_mut(i).advance_to(t);
+                        }
+                    }
+                    None => break,
+                },
+            }
+        }
+
+        let end_cycle = self.ctx.sys.barrier();
+        self.publish(&stats_before);
+        let outcomes = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(id, o)| o.unwrap_or_else(|| panic!("request {id} never resolved")))
+            .collect();
+        Ok(ServeReport { outcomes, stats: delta(&self.stats, &stats_before), end_cycle })
+    }
+
+    /// Executes one admitted request through the degradation ladder.
+    fn execute(&mut self, q: Queued) -> Result<RequestOutcome, PimError> {
+        let Queued { id, req, .. } = q;
+        let started = self.ctx.sys.max_now();
+        let n = req.op.operands().0.len();
+        let oracle = req.op.host_reference();
+
+        let outcome = |disposition, started, finished, result| RequestOutcome {
+            id,
+            tenant: req.tenant,
+            arrival: req.arrival,
+            started,
+            finished,
+            disposition,
+            result,
+        };
+
+        // Candidate groups: the request's affinity, intersected with the
+        // groups whose breakers admit work right now.
+        let now = started;
+        let candidates: Vec<usize> = (0..self.breakers.len())
+            .filter(|g| req.groups.as_ref().is_none_or(|set| set.contains(g)))
+            .filter(|&g| self.breakers[g].admit(now, &mut self.stats))
+            .collect();
+
+        // Degradation policy by deadline slack: PIM when the estimate fits
+        // (or nothing else would), host BLAS when PIM's estimate blows the
+        // slack but the host's still fits, miss when already expired.
+        let slack = req.deadline.saturating_sub(now);
+        let est_pim = self.est_pim_cycles(n);
+        let est_host = (n as u64).saturating_mul(self.cfg.host_cycles_per_element);
+        let pim_viable = !candidates.is_empty();
+        let prefer_host = !pim_viable || (est_pim > slack && est_host <= slack);
+
+        if !prefer_host {
+            match self.run_on_pim(&req, &candidates, &oracle)? {
+                PimAttempt::Done { finished, result, cycles } => {
+                    self.observe_cost(cycles, n);
+                    return Ok(if finished > req.deadline {
+                        self.stats.deadline_missed += 1;
+                        outcome(Disposition::DeadlineMissed, Some(started), finished, None)
+                    } else {
+                        self.stats.completed += 1;
+                        outcome(Disposition::Completed, Some(started), finished, Some(result))
+                    });
+                }
+                PimAttempt::Exhausted => {}
+            }
+        }
+
+        // Host fallback: modelled cost advances the simulated clock.
+        let now = self.ctx.sys.max_now();
+        if now >= req.deadline {
+            self.stats.deadline_missed += 1;
+            return Ok(outcome(Disposition::DeadlineMissed, Some(started), now, None));
+        }
+        self.stats.host_fallbacks += 1;
+        let finished = now + est_host;
+        for i in 0..self.ctx.sys.channel_count() {
+            self.ctx.sys.channel_mut(i).advance_to(finished);
+        }
+        Ok(if finished > req.deadline {
+            self.stats.deadline_missed += 1;
+            outcome(Disposition::DeadlineMissed, Some(started), finished, None)
+        } else {
+            outcome(Disposition::FellBackToHost, Some(started), finished, Some(oracle))
+        })
+    }
+
+    /// The PIM half of the ladder: bounded launches over the candidate
+    /// groups, excluding implicated groups (breaker failures) between
+    /// attempts. Returns `Exhausted` when the request must degrade to the
+    /// host.
+    fn run_on_pim(
+        &mut self,
+        req: &ServeRequest,
+        candidates: &[usize],
+        oracle: &[f32],
+    ) -> Result<PimAttempt, PimError> {
+        let (x, y) = req.op.operands();
+        let op = req.op.stream_op();
+        let n = x.len();
+        if n == 0 || y.len() != n {
+            // Malformed requests never reach the device; the host oracle
+            // path reports them (empty result) rather than panicking.
+            return Ok(PimAttempt::Exhausted);
+        }
+        let pim_cfg = self.ctx.sys.pim_config().clone();
+        let units = pim_cfg.units_per_pch;
+        let two_bank = pim_cfg.variant == PimVariant::TwoBankAccess;
+        let (x_col, y_col, z_col) = stream_columns(op, &pim_cfg);
+        let y_plain_col = match (two_bank, y_col) {
+            (true, _) => None,
+            (false, Some(c)) => Some(c),
+            (false, None) => {
+                return Err(PimError::Internal {
+                    detail: "two-operand stream kernel without a second operand column".into(),
+                })
+            }
+        };
+        let xb = layout::f32_to_blocks(x);
+        let yb = layout::f32_to_blocks(y);
+        let nblocks = xb.len();
+
+        let mut avail: Vec<usize> = candidates.to_vec();
+        for attempt in 0..self.cfg.max_attempts {
+            if avail.is_empty() {
+                return Ok(PimAttempt::Exhausted);
+            }
+            let now = self.ctx.sys.max_now();
+            if now >= req.deadline {
+                return Ok(PimAttempt::Exhausted);
+            }
+            if attempt > 0 {
+                self.stats.relayouts += 1;
+            }
+
+            // Lock-step layout over the channels of the available groups.
+            let channels: Vec<usize> = avail.iter().flat_map(|&g| self.group_channels(g)).collect();
+            let h = channels.len();
+            let locate = |b: usize| (channels[b % h], (b / h) % units, b / (h * units));
+            let slot_pos = |b: usize, base: u32| {
+                let slot = (b / (h * units)) as u32;
+                (base + slot / GROUP, slot % GROUP)
+            };
+            self.ctx.reset_memory();
+            let slots = nblocks.div_ceil(h * units).max(1);
+            let rows = (slots as u32).div_ceil(GROUP);
+            let base_row = self
+                .ctx
+                .mm
+                .alloc_rows_lockstep(rows)
+                .map_err(|e| PimError::OutOfMemory { detail: e.to_string() })?;
+            for b in 0..nblocks {
+                let (ch, u, _) = locate(b);
+                let (row, coff) = slot_pos(b, base_row);
+                layout::store_block(&mut self.ctx.sys, ch, u, row, x_col + coff, &xb[b]);
+                match y_plain_col {
+                    Some(yc) => {
+                        layout::store_block(&mut self.ctx.sys, ch, u, row, yc + coff, &yb[b])
+                    }
+                    None => {
+                        layout::store_block_odd(&mut self.ctx.sys, ch, u, row, x_col + coff, &yb[b])
+                    }
+                }
+            }
+
+            // Bounded launch: the watchdog limit never extends past the
+            // deadline.
+            let program = stream_microkernel(op, rows, &pim_cfg);
+            let data = stream_batches(op, rows, base_row, &pim_cfg);
+            let budget = req.budget.unwrap_or(self.cfg.watchdog_budget);
+            let deadline_capped = req.deadline <= now.saturating_add(budget);
+            let limit = req.deadline.min(now.saturating_add(budget));
+            let start = now;
+            let (result, cancelled) =
+                self.launch_bounded(&channels, &program, &data, Some(limit))?;
+
+            let fail = |server: &mut Server, groups: &[usize]| {
+                let at = server.ctx.sys.max_now();
+                for &g in groups {
+                    server.breakers[g].failure(at, &server.cfg, &mut server.stats);
+                }
+            };
+
+            let timed_out: Vec<usize> = {
+                let mut gs: Vec<usize> = cancelled
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c)
+                    .map(|(ch, _)| self.group_of(ch))
+                    .collect();
+                gs.sort_unstable();
+                gs.dedup();
+                gs
+            };
+            if !timed_out.is_empty() {
+                self.stats.watchdog_cancels += 1;
+                // A deadline-capped cancel means the request ran out of
+                // slack, not that the hardware is sick: the request
+                // degrades without charging the groups' breakers. Only a
+                // budget-capped cancel is a genuine component timeout.
+                if deadline_capped {
+                    return Ok(PimAttempt::Exhausted);
+                }
+                fail(self, &timed_out);
+                avail.retain(|g| !timed_out.contains(g));
+                continue;
+            }
+
+            // Gather and verify against the oracle.
+            let mut out = vec![0.0f32; n];
+            let mut bad_groups: Vec<usize> = Vec::new();
+            for b in 0..nblocks {
+                let (ch, u, _) = locate(b);
+                let (row, coff) = slot_pos(b, base_row);
+                let v = layout::load_block(&self.ctx.sys, ch, u, row, z_col + coff);
+                for l in 0..BLOCK_ELEMS {
+                    let i = b * BLOCK_ELEMS + l;
+                    if i >= n {
+                        break;
+                    }
+                    out[i] = v[l].to_f32();
+                    if out[i].to_bits() != oracle[i].to_bits() {
+                        bad_groups.push(self.group_of(ch));
+                    }
+                }
+            }
+            bad_groups.sort_unstable();
+            bad_groups.dedup();
+            let finished = self.ctx.sys.barrier();
+            if bad_groups.is_empty() {
+                for &g in &avail {
+                    self.breakers[g].success(&mut self.stats);
+                }
+                return Ok(PimAttempt::Done {
+                    finished,
+                    result: out,
+                    cycles: result.end_cycle.saturating_sub(start),
+                });
+            }
+            fail(self, &bad_groups);
+            avail.retain(|g| !bad_groups.contains(g));
+        }
+        Ok(PimAttempt::Exhausted)
+    }
+
+    /// Runs the kernel choreography on exactly `channels` under the
+    /// watchdog limit; other channels sit the launch out.
+    fn launch_bounded(
+        &mut self,
+        channels: &[usize],
+        program: &[pim_core::isa::Instruction],
+        data_batches: &[Batch],
+        limit: Option<Cycle>,
+    ) -> Result<(KernelResult, Vec<bool>), PimError> {
+        if self.ctx.strict {
+            Preprocessor::verify_kernel(self.ctx.sys.pim_config(), program)
+                .map_err(|report| PimError::InvalidKernel { report })?;
+        }
+        let full = Executor::full_kernel(program, None, false, data_batches);
+        let per_channel: Vec<Vec<Batch>> = (0..self.ctx.sys.channel_count())
+            .map(|ch| if channels.contains(&ch) { full.clone() } else { Vec::new() })
+            .collect();
+        Ok(KernelEngine::run_system_bounded(&mut self.ctx.sys, &per_channel, self.ctx.mode, limit))
+    }
+
+    /// Publishes this run's counter deltas to the context recorder.
+    fn publish(&self, before: &ServeStats) {
+        let Some(r) = &self.ctx.recorder else { return };
+        let d = delta(&self.stats, before);
+        r.add(names::SRV_SUBMITTED, d.submitted);
+        r.add(names::SRV_ADMITTED, d.admitted);
+        r.add(names::SRV_SHED_QUEUE_FULL, d.shed_queue_full);
+        r.add(names::SRV_SHED_OVERLOADED, d.shed_overloaded);
+        r.add(names::SRV_COMPLETED, d.completed);
+        r.add(names::SRV_DEADLINE_MISSED, d.deadline_missed);
+        r.add(names::SRV_WATCHDOG_CANCELS, d.watchdog_cancels);
+        r.add(names::SRV_BREAKER_TRIPS, d.breaker_trips);
+        r.add(names::SRV_BREAKER_HALF_OPENS, d.breaker_half_opens);
+        r.add(names::SRV_BREAKER_CLOSES, d.breaker_closes);
+        r.add(names::SRV_RELAYOUTS, d.relayouts);
+        r.add(names::SRV_HOST_FALLBACKS, d.host_fallbacks);
+    }
+}
+
+/// What one trip through the PIM ladder produced.
+enum PimAttempt {
+    Done { finished: Cycle, result: Vec<f32>, cycles: Cycle },
+    Exhausted,
+}
+
+fn delta(now: &ServeStats, before: &ServeStats) -> ServeStats {
+    ServeStats {
+        submitted: now.submitted - before.submitted,
+        admitted: now.admitted - before.admitted,
+        shed_queue_full: now.shed_queue_full - before.shed_queue_full,
+        shed_overloaded: now.shed_overloaded - before.shed_overloaded,
+        completed: now.completed - before.completed,
+        deadline_missed: now.deadline_missed - before.deadline_missed,
+        watchdog_cancels: now.watchdog_cancels - before.watchdog_cancels,
+        breaker_trips: now.breaker_trips - before.breaker_trips,
+        breaker_half_opens: now.breaker_half_opens - before.breaker_half_opens,
+        breaker_closes: now.breaker_closes - before.breaker_closes,
+        relayouts: now.relayouts - before.relayouts,
+        host_fallbacks: now.host_fallbacks - before.host_fallbacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_faults::FaultPlan;
+
+    fn add_req(tenant: u32, arrival: Cycle, deadline: Cycle, n: usize) -> ServeRequest {
+        let x: Vec<f32> = (0..n).map(|i| (i % 23) as f32 * 0.25).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i % 17) as f32 * 0.5).collect();
+        ServeRequest {
+            tenant,
+            arrival,
+            deadline,
+            groups: None,
+            budget: None,
+            op: ServeOp::Add { x, y },
+        }
+    }
+
+    #[test]
+    fn single_request_completes_with_exact_result() {
+        let mut ctx = PimContext::small_system();
+        let mut server = Server::new(&mut ctx, ServeConfig::default());
+        let req = add_req(0, 0, 10_000_000, 1024);
+        let oracle = req.op.host_reference();
+        let report = server.run(vec![req]).unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        let o = &report.outcomes[0];
+        assert_eq!(o.disposition, Disposition::Completed);
+        assert_eq!(o.result.as_deref(), Some(&oracle[..]));
+        assert!(o.finished > 0);
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.host_fallbacks, 0);
+    }
+
+    #[test]
+    fn queue_capacity_sheds_with_typed_reason() {
+        let mut ctx = PimContext::small_system();
+        let cfg = ServeConfig { queue_capacity: 1, ..ServeConfig::default() };
+        let mut server = Server::new(&mut ctx, cfg);
+        // Three simultaneous arrivals for one tenant: all three hit
+        // admission before any dispatch, so the depth-1 queue takes the
+        // first and sheds the other two.
+        let reqs = (0..3).map(|_| add_req(7, 0, 50_000_000, 512)).collect();
+        let report = server.run(reqs).unwrap();
+        let shed = report
+            .outcomes
+            .iter()
+            .filter(|o| o.disposition == Disposition::Shed(RejectReason::QueueFull))
+            .count();
+        assert_eq!(shed, 2, "{:?}", report.stats);
+        assert_eq!(report.stats.shed_queue_full, 2);
+        assert_eq!(report.stats.completed, 1);
+    }
+
+    #[test]
+    fn backlog_budget_sheds_overloaded() {
+        let mut ctx = PimContext::small_system();
+        let cfg = ServeConfig { max_backlog_cycles: 1, ..ServeConfig::default() };
+        let mut server = Server::new(&mut ctx, cfg);
+        let reqs = (0..2).map(|_| add_req(0, 0, 50_000_000, 512)).collect();
+        let report = server.run(reqs).unwrap();
+        assert_eq!(report.stats.shed_overloaded, 2, "{:?}", report.stats);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| o.disposition == Disposition::Shed(RejectReason::Overloaded)));
+    }
+
+    #[test]
+    fn expired_deadline_is_missed_not_run() {
+        let mut ctx = PimContext::small_system();
+        let mut server = Server::new(&mut ctx, ServeConfig::default());
+        // Deadline of 1 cycle: expires before/at dispatch.
+        let report = server.run(vec![add_req(0, 0, 1, 512)]).unwrap();
+        assert_eq!(report.outcomes[0].disposition, Disposition::DeadlineMissed);
+        assert_eq!(report.stats.deadline_missed, 1);
+        assert_eq!(report.stats.completed + report.stats.host_fallbacks, 0);
+    }
+
+    #[test]
+    fn tight_slack_degrades_to_host() {
+        let mut ctx = PimContext::small_system();
+        // Make PIM look expensive and the host cheap: any real deadline
+        // prefers the host.
+        let cfg = ServeConfig {
+            initial_cycles_per_element: 1_000_000,
+            host_cycles_per_element: 1,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(&mut ctx, cfg);
+        let req = add_req(0, 0, 100_000, 1024);
+        let oracle = req.op.host_reference();
+        let report = server.run(vec![req]).unwrap();
+        let o = &report.outcomes[0];
+        assert_eq!(o.disposition, Disposition::FellBackToHost, "{:?}", report.stats);
+        assert_eq!(o.result.as_deref(), Some(&oracle[..]));
+        assert_eq!(report.stats.host_fallbacks, 1);
+    }
+
+    #[test]
+    fn watchdog_cancels_and_request_still_resolves() {
+        let mut ctx = PimContext::small_system();
+        let cfg = ServeConfig { breaker_threshold: 1, ..ServeConfig::default() };
+        let mut server = Server::new(&mut ctx, cfg);
+        let mut req = add_req(0, 0, 50_000_000, 4096);
+        // A 1-cycle budget cancels every data batch on every attempt.
+        req.budget = Some(1);
+        let report = server.run(vec![req]).unwrap();
+        assert!(report.stats.watchdog_cancels > 0);
+        assert_eq!(report.outcomes[0].disposition, Disposition::FellBackToHost);
+        assert!(report.stats.breaker_trips > 0, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn hard_failed_group_trips_breaker_and_work_reroutes() {
+        // Hard-fail exactly the channels of group 0 (0..4) by finding a
+        // seed where only low channels fail — simpler: fail channel 0 only
+        // is not directly expressible, so use a plan with chan_fail and
+        // check that wherever failures landed, completed results are exact.
+        let mut plan = FaultPlan::quiet(0);
+        plan.chan_fail_rate = 0.15;
+        let mut failed: Vec<usize> = Vec::new();
+        for seed in 0..2000 {
+            plan.seed = seed;
+            failed = (0..16).filter(|&c| plan.channel_failed(c)).collect();
+            if !failed.is_empty() && failed.len() <= 4 {
+                break;
+            }
+        }
+        assert!(!failed.is_empty());
+        let mut ctx = PimContext::small_system();
+        ctx.inject_faults(&plan);
+        let cfg = ServeConfig { breaker_threshold: 1, ..ServeConfig::default() };
+        let mut server = Server::new(&mut ctx, cfg);
+        let reqs: Vec<ServeRequest> =
+            (0..4).map(|i| add_req(0, i * 1000, 80_000_000, 2048)).collect();
+        let oracles: Vec<Vec<f32>> = reqs.iter().map(|r| r.op.host_reference()).collect();
+        let report = server.run(reqs).unwrap();
+        for (o, oracle) in report.outcomes.iter().zip(&oracles) {
+            if let Some(result) = &o.result {
+                assert_eq!(result, oracle, "request {} returned wrong data", o.id);
+            }
+        }
+        assert!(report.stats.breaker_trips > 0, "{:?}", report.stats);
+        assert!(report.stats.relayouts > 0, "{:?}", report.stats);
+        // Later requests avoid the tripped group and complete first try.
+        assert!(report.stats.completed > 0, "{:?}", report.stats);
+    }
+
+    #[test]
+    fn breaker_state_machine() {
+        let cfg = ServeConfig { breaker_threshold: 2, breaker_cooldown: 100, ..Default::default() };
+        let mut stats = ServeStats::default();
+        let mut b = Breaker::new();
+        assert!(b.admit(0, &mut stats));
+        b.failure(10, &cfg, &mut stats);
+        assert!(b.admit(11, &mut stats), "one failure below threshold keeps it closed");
+        b.failure(12, &cfg, &mut stats);
+        assert_eq!(stats.breaker_trips, 1);
+        assert!(!b.admit(13, &mut stats), "open during cooldown");
+        assert!(b.admit(112, &mut stats), "half-open after cooldown");
+        assert_eq!(stats.breaker_half_opens, 1);
+        // A failed probe re-opens immediately (no threshold).
+        b.failure(113, &cfg, &mut stats);
+        assert_eq!(stats.breaker_trips, 2);
+        assert!(b.admit(213 + cfg.breaker_cooldown, &mut stats));
+        b.success(&mut stats);
+        assert_eq!(stats.breaker_closes, 1);
+        assert!(b.admit(999, &mut stats));
+    }
+
+    #[test]
+    fn trace_replay_is_deterministic() {
+        let trace = |seed: u64| -> Vec<ServeRequest> {
+            (0..6)
+                .map(|i| {
+                    let mut r = add_req((i % 3) as u32, i * 700, 40_000_000 + i * 13, 1024);
+                    r.groups = Some(vec![(i % 4) as usize, ((i + 1) % 4) as usize]);
+                    let _ = seed;
+                    r
+                })
+                .collect()
+        };
+        let run = |requests: Vec<ServeRequest>| {
+            let mut ctx = PimContext::small_system();
+            let mut server = Server::new(&mut ctx, ServeConfig::default());
+            server.run(requests).unwrap()
+        };
+        let a = run(trace(1));
+        let b = run(trace(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_affinity_restricts_placement() {
+        let mut ctx = PimContext::small_system();
+        let mut server = Server::new(&mut ctx, ServeConfig::default());
+        assert_eq!(server.group_count(), 4, "16 channels / 4 per group");
+        let mut req = add_req(0, 0, 50_000_000, 512);
+        req.groups = Some(vec![2]);
+        let report = server.run(vec![req]).unwrap();
+        assert_eq!(report.outcomes[0].disposition, Disposition::Completed);
+        // Only group 2's channels (8..12) saw PIM triggers.
+        for ch in 0..16 {
+            let triggers = ctx.sys.channel(ch).sink().stats().pim_triggers;
+            if (8..12).contains(&ch) {
+                assert!(triggers > 0, "channel {ch} should have executed");
+            } else {
+                assert_eq!(triggers, 0, "channel {ch} outside the affinity set ran");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_requests_are_served_too() {
+        let mut ctx = PimContext::small_system();
+        let mut server = Server::new(&mut ctx, ServeConfig::default());
+        let x: Vec<f32> = (0..640).map(|i| (i % 13) as f32 * 0.25).collect();
+        let y: Vec<f32> = (0..640).map(|i| (i % 7) as f32 * 0.5).collect();
+        let req = ServeRequest {
+            tenant: 1,
+            arrival: 0,
+            deadline: 50_000_000,
+            groups: None,
+            budget: None,
+            op: ServeOp::Mul { x: x.clone(), y: y.clone() },
+        };
+        let oracle = req.op.host_reference();
+        let report = server.run(vec![req]).unwrap();
+        assert_eq!(report.outcomes[0].result.as_deref(), Some(&oracle[..]));
+        for i in 0..640 {
+            assert_eq!(oracle[i], x[i] * y[i], "element {i}");
+        }
+    }
+
+    #[test]
+    fn srv_metrics_published_when_profiling() {
+        let mut ctx = PimContext::small_system();
+        let rec = pim_obs::Recorder::vec();
+        ctx.enable_profiling(rec.clone());
+        let mut server = Server::new(&mut ctx, ServeConfig::default());
+        let report = server.run(vec![add_req(0, 0, 50_000_000, 512)]).unwrap();
+        assert_eq!(report.stats.completed, 1);
+        let m = rec.metrics().registry;
+        assert_eq!(m.counter(names::SRV_SUBMITTED), 1);
+        assert_eq!(m.counter(names::SRV_ADMITTED), 1);
+        assert_eq!(m.counter(names::SRV_COMPLETED), 1);
+    }
+}
