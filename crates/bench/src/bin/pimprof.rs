@@ -17,11 +17,13 @@
 
 use pim_bench::profile::{profile_gemv, render_profile};
 use pim_bench::report;
-use pim_obs::{chrome::chrome_trace_json, csv::metrics_csv};
+use pim_bench::trace::render_attrib;
+use pim_obs::{chrome::chrome_trace_json, csv::metrics_csv, Attribution};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pimprof [GEMV1|GEMV2|GEMV3|GEMV4 | NxK] [--scale D] [--trace PATH] [--csv PATH]"
+        "usage: pimprof [GEMV1|GEMV2|GEMV3|GEMV4 | NxK] [--scale D] [--trace PATH] [--csv PATH] \
+         [--attrib] [--folded PATH]"
     );
     std::process::exit(2);
 }
@@ -32,12 +34,17 @@ fn main() {
     let mut scale = 1usize;
     let mut trace_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
+    let mut attrib = false;
+    let mut folded_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
-                println!("usage: pimprof [GEMV1|GEMV2|GEMV3|GEMV4 | NxK] [--scale D] [--trace PATH] [--csv PATH]");
+                println!(
+                    "usage: pimprof [GEMV1|GEMV2|GEMV3|GEMV4 | NxK] [--scale D] [--trace PATH] \
+                     [--csv PATH] [--attrib] [--folded PATH]"
+                );
                 return;
             }
             "--scale" => {
@@ -49,6 +56,8 @@ fn main() {
             }
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--csv" => csv_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--attrib" => attrib = true,
+            "--folded" => folded_path = Some(args.next().unwrap_or_else(|| usage())),
             w => {
                 if let Some(wl) = pim_bench::workloads::gemv_workloads()
                     .iter()
@@ -98,6 +107,32 @@ fn main() {
     let events = run.recorder.events().unwrap_or_default();
     println!();
     println!("events recorded: {}", events.len());
+
+    if attrib || folded_path.is_some() {
+        let a =
+            Attribution::from_events(&events, run.channels, run.end_cycle).unwrap_or_else(|e| {
+                eprintln!("pimprof: attribution failed: {e}");
+                std::process::exit(1);
+            });
+        if let Err(e) = a.check_conservation() {
+            eprintln!("pimprof: cycle conservation violated: {e}");
+            std::process::exit(1);
+        }
+        if attrib {
+            println!();
+            println!("cycle attribution ({} channels, end cycle {}):", run.channels, run.end_cycle);
+            print!("{}", render_attrib(&a));
+        }
+        if let Some(path) = &folded_path {
+            match std::fs::write(path, a.folded()) {
+                Ok(()) => println!("folded stacks written to {path}"),
+                Err(e) => {
+                    eprintln!("pimprof: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     if let Some(path) = trace_path {
         let json = chrome_trace_json(&events);
         match std::fs::write(&path, json) {

@@ -16,16 +16,23 @@
 //! `--expect-clean` exits non-zero if any served result disagrees with the
 //! exact FP16 oracle — the CI smoke job's assertion that overload and
 //! faults may shed or delay work but never corrupt an answer.
+//!
+//! `--metrics PATH` attaches a counting recorder to every grid point and
+//! writes the accumulated metrics registry (srv.* counters, per-run SLO
+//! histograms) as a validated OpenMetrics text exposition. Recording has
+//! zero observer effect: the JSON report is byte-identical with or without
+//! the flag.
 
 use pim_bench::json;
-use pim_bench::serve::{report_json, run_campaign, ServeCampaignConfig};
+use pim_bench::serve::{report_json, run_campaign_recorded, ServeCampaignConfig};
 use pim_host::ExecutionBackend;
+use pim_obs::{openmetrics, Recorder};
 
 fn usage() -> ! {
     eprintln!(
         "usage: pimserve [--seed N] [--elements N] [--requests N] [--tenants N] \
          [--deadline-slack N] [--intervals I1,I2,...] [--rates R1,R2,...] \
-         [--backend sequential|threads:N] [--expect-clean]"
+         [--backend sequential|threads:N] [--expect-clean] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -90,6 +97,7 @@ fn parse_rates(text: &str) -> Vec<f64> {
 fn main() {
     let mut cfg = ServeCampaignConfig::default();
     let mut expect_clean = false;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -114,16 +122,33 @@ fn main() {
             "--rates" => cfg.fault_rates = parse_rates(&next_value(&mut args, "--rates")),
             "--backend" => cfg.backend = parse_backend(&next_value(&mut args, "--backend")),
             "--expect-clean" => expect_clean = true,
+            "--metrics" => metrics_path = Some(next_value(&mut args, "--metrics")),
             "--help" | "-h" => usage(),
             other => bad(format!("unknown argument '{other}'")),
         }
     }
 
-    let points = run_campaign(&cfg).unwrap_or_else(|e| {
+    // A counting recorder keeps the metrics registry without retaining the
+    // event stream (campaigns emit millions of events).
+    let recorder = metrics_path.as_ref().map(|_| Recorder::counting());
+    let points = run_campaign_recorded(&cfg, recorder.as_ref()).unwrap_or_else(|e| {
         eprintln!("pimserve: campaign failed: {e}");
         std::process::exit(1);
     });
     println!("{}", json::to_string(&report_json(&cfg, &points)));
+
+    if let (Some(path), Some(r)) = (&metrics_path, &recorder) {
+        let exposition = openmetrics::render(&r.metrics().registry);
+        if let Err(e) = openmetrics::validate(&exposition) {
+            eprintln!("pimserve: invalid OpenMetrics exposition: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &exposition) {
+            eprintln!("pimserve: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path} ({} bytes)", exposition.len());
+    }
 
     let wrong: u64 = points.iter().map(|p| p.wrong_answers).sum();
     if expect_clean && wrong > 0 {

@@ -421,6 +421,8 @@ mod tests {
         r.end(5, "op", "op", pim_obs::Scope::channel(3));
         let trace = pim_obs::chrome::chrome_trace_json(&r.events().unwrap());
         let v = parse(&trace).expect("exporter emits valid JSON");
-        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 2);
+        // Two kernel events plus the channel's process_name/thread_name
+        // metadata records.
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 4);
     }
 }

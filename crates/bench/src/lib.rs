@@ -19,6 +19,7 @@ pub mod parallel;
 pub mod profile;
 pub mod report;
 pub mod serve;
+pub mod trace;
 pub mod workloads;
 
 pub use micro::MicroResult;

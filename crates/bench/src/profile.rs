@@ -21,6 +21,11 @@ pub struct ProfiledGemv {
     pub report: KernelReport,
     /// The recorder attached to every simulation layer for this run.
     pub recorder: Recorder,
+    /// Channels in the profiled system.
+    pub channels: u16,
+    /// Barrier-aligned cycle at which the run ended — the denominator for
+    /// exact cycle attribution ([`pim_obs::Attribution`]).
+    pub end_cycle: u64,
 }
 
 /// Runs an `n × k` GEMV on a fresh one-stack system with profiling enabled
@@ -41,7 +46,9 @@ pub fn profile_gemv(n: usize, k: usize) -> Result<ProfiledGemv, PimError> {
     let x: Vec<f32> = (0..k).map(|i| ((i * 3 % 17) as f32 - 8.0) / 16.0).collect();
     let (y, report) = PimBlas::gemv(&mut ctx, &w, n, k, &x)?;
     ctx.snapshot_residency();
-    Ok(ProfiledGemv { y, report, recorder })
+    let channels = ctx.sys.channel_count() as u16;
+    let end_cycle = ctx.sys.barrier();
+    Ok(ProfiledGemv { y, report, recorder, channels, end_cycle })
 }
 
 /// Renders the profile table for one metrics snapshot.

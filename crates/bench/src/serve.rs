@@ -18,6 +18,7 @@ use crate::faults::fault_mix;
 use crate::json::{obj, Json};
 use pim_fp16::F16;
 use pim_host::ExecutionBackend;
+use pim_obs::Quantiles;
 use pim_runtime::{
     Disposition, PimContext, PimError, RejectReason, ServeConfig, ServeOp, ServeRequest, Server,
 };
@@ -118,8 +119,10 @@ fn operands(seed: u64, point_salt: u64, id: u64, n: usize) -> (Vec<f32>, Vec<f32
     (x, y)
 }
 
-/// Builds the seeded open-loop trace for one sweep point.
-fn build_trace(cfg: &ServeCampaignConfig, interval: u64, point_salt: u64) -> Vec<ServeRequest> {
+/// Builds the seeded open-loop trace for one sweep point. Public so the
+/// traced-artifact runner ([`crate::trace`]) replays the exact same
+/// request stream the campaign would.
+pub fn build_trace(cfg: &ServeCampaignConfig, interval: u64, point_salt: u64) -> Vec<ServeRequest> {
     let mut arrival = 0u64;
     (0..cfg.requests as u64)
         .map(|id| {
@@ -140,6 +143,11 @@ fn build_trace(cfg: &ServeCampaignConfig, interval: u64, point_salt: u64) -> Vec
         .collect()
 }
 
+/// The per-point salt mixed into every seeded decision of a sweep point.
+pub fn point_salt(interval: u64, rate: f64) -> u64 {
+    interval ^ ((rate * 1e9) as u64).rotate_left(32)
+}
+
 /// Runs one sweep point on a fresh one-stack (16-channel) system.
 ///
 /// # Errors
@@ -151,12 +159,33 @@ pub fn run_point(
     interval: u64,
     rate: f64,
 ) -> Result<ServePoint, PimError> {
+    run_point_recorded(cfg, interval, rate, None)
+}
+
+/// [`run_point`] with an optional recorder attached to every simulation
+/// layer — the counters and SLO histograms accumulate across points into
+/// the recorder's metrics registry (the `pimserve --metrics` export).
+/// Recording has zero observer effect: the returned [`ServePoint`] is
+/// byte-for-byte the one an unrecorded run produces.
+///
+/// # Errors
+///
+/// Propagates [`PimError`] from the serving layer.
+pub fn run_point_recorded(
+    cfg: &ServeCampaignConfig,
+    interval: u64,
+    rate: f64,
+    recorder: Option<&pim_obs::Recorder>,
+) -> Result<ServePoint, PimError> {
     let mut ctx = PimContext::small_system();
     ctx.set_backend(cfg.backend);
     if rate > 0.0 {
         ctx.inject_faults(&fault_mix(cfg.seed, rate));
     }
-    let point_salt = interval ^ ((rate * 1e9) as u64).rotate_left(32);
+    if let Some(r) = recorder {
+        ctx.enable_profiling(r.clone());
+    }
+    let point_salt = point_salt(interval, rate);
     let trace = build_trace(cfg, interval, point_salt);
 
     // Keep the oracle per request so served results can be audited after
@@ -194,9 +223,7 @@ pub fn run_point(
         ));
     }
 
-    let mut lat = report.served_latencies();
-    lat.sort_unstable();
-    let pct = |p: usize| if lat.is_empty() { 0 } else { lat[(lat.len() - 1) * p / 100] };
+    let lat = Quantiles::from_samples(report.served_latencies());
     let seconds = ctx.sys.cycles_to_seconds(report.end_cycle);
     Ok(ServePoint {
         interval,
@@ -210,8 +237,8 @@ pub fn run_point(
         watchdog_cancels: report.stats.watchdog_cancels,
         breaker_trips: report.stats.breaker_trips,
         relayouts: report.stats.relayouts,
-        p50_cycles: pct(50),
-        p99_cycles: pct(99),
+        p50_cycles: lat.percentile(50),
+        p99_cycles: lat.percentile(99),
         end_cycle: report.end_cycle,
         goodput_eps: if seconds > 0.0 { served_elements as f64 / seconds } else { 0.0 },
         wrong_answers: wrong,
@@ -224,10 +251,23 @@ pub fn run_point(
 ///
 /// Fails on the first point that returns a [`PimError`].
 pub fn run_campaign(cfg: &ServeCampaignConfig) -> Result<Vec<ServePoint>, PimError> {
+    run_campaign_recorded(cfg, None)
+}
+
+/// [`run_campaign`] with an optional recorder shared by every grid point
+/// (see [`run_point_recorded`]).
+///
+/// # Errors
+///
+/// Fails on the first point that returns a [`PimError`].
+pub fn run_campaign_recorded(
+    cfg: &ServeCampaignConfig,
+    recorder: Option<&pim_obs::Recorder>,
+) -> Result<Vec<ServePoint>, PimError> {
     let mut points = Vec::new();
     for &interval in &cfg.intervals {
         for &rate in &cfg.fault_rates {
-            points.push(run_point(cfg, interval, rate)?);
+            points.push(run_point_recorded(cfg, interval, rate, recorder)?);
         }
     }
     Ok(points)

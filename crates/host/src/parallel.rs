@@ -106,6 +106,15 @@ fn detach_recorders(sys: &mut PimSystem, n: usize) -> Vec<SwappedRecorders> {
             continue;
         }
         let buffer = Recorder::vec();
+        // The buffer inherits the parent's ambient trace context so events
+        // recorded on worker threads are stamped exactly as a sequential
+        // run would stamp them; `merge_from` then replays them verbatim.
+        let parent_trace = ctrl_rec
+            .as_ref()
+            .map(|(r, _)| r)
+            .or(dev_rec.as_ref().map(|(r, _)| r))
+            .and_then(|r| r.trace());
+        buffer.set_trace(parent_trace);
         if let Some((_, id)) = &ctrl_rec {
             ctrl.set_recorder(buffer.clone(), *id);
         }

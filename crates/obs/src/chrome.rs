@@ -9,6 +9,8 @@
 //! https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use crate::event::{Event, EventKind, Scope};
+use crate::names;
+use std::collections::BTreeSet;
 
 /// Escapes a string for inclusion inside a JSON string literal (without the
 /// surrounding quotes).
@@ -65,21 +67,94 @@ fn push_event(out: &mut String, e: &Event) {
         // Thread-scoped instants render as small arrows on their track.
         out.push_str(",\"s\":\"t\"");
     }
+    let mut args: Vec<String> = Vec::new();
     if let Some((k, v)) = e.arg {
-        out.push_str(&format!(",\"args\":{{\"{}\":{}}}", escape_json(k), v));
+        args.push(format!("\"{}\":{}", escape_json(k), v));
+    }
+    if let Some(ctx) = e.trace {
+        args.push(format!("\"trace\":\"{:016x}\"", ctx.trace.0));
+        args.push(format!("\"span\":\"{:016x}\"", ctx.span.0));
+        args.push(format!("\"tenant\":{}", ctx.tenant));
+    }
+    if !args.is_empty() {
+        out.push_str(&format!(",\"args\":{{{}}}", args.join(",")));
     }
     out.push('}');
 }
 
-/// Renders events as a complete Chrome trace-event JSON document.
+/// Names the process/thread tracks: pid 0 is the host/global track,
+/// pid `c + 1` is channel `c`; within a process, tid 0 is the control
+/// track, `u + 1` a PIM unit, `b + 1001` a bank.
+fn push_track_metadata(out: &mut String, events: &[Event]) {
+    let tracks: BTreeSet<(u64, u64)> = events.iter().map(|e| pid_tid(&e.scope)).collect();
+    let pids: BTreeSet<u64> = tracks.iter().map(|&(pid, _)| pid).collect();
+    for pid in &pids {
+        let name = if *pid == 0 { "host".to_string() } else { format!("channel {}", pid - 1) };
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{name}\"}}}},"
+        ));
+    }
+    for (pid, tid) in &tracks {
+        let name = match tid {
+            0 => {
+                if *pid == 0 {
+                    "global".to_string()
+                } else {
+                    "ctrl".to_string()
+                }
+            }
+            1..=1000 => format!("unit {}", tid - 1),
+            _ => format!("bank {}", tid - 1001),
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{name}\"}}}},"
+        ));
+    }
+}
+
+/// Emits flow events (`ph` `s`/`t`/`f`) chaining a request's lifecycle
+/// instants (admission → dispatch → launch → completion) and its traced
+/// per-channel batch spans into one arrow sequence per trace id.
+fn push_flow_event(out: &mut String, e: &Event, seen: &mut BTreeSet<u64>) {
+    let Some(ctx) = e.trace else { return };
+    let linkable =
+        e.cat == names::CAT_REQUEST || (e.cat == names::CAT_BATCH && e.kind == EventKind::Begin);
+    if !linkable {
+        return;
+    }
+    let ph = if seen.insert(ctx.trace.0) {
+        "s"
+    } else if e.cat == names::CAT_REQUEST && e.name == names::REQ_DONE {
+        "f"
+    } else {
+        "t"
+    };
+    let (pid, tid) = pid_tid(&e.scope);
+    out.push_str(&format!(
+        ",{{\"name\":\"request\",\"cat\":\"flow\",\"ph\":\"{ph}\",\"id\":{},\
+         \"ts\":{},\"pid\":{pid},\"tid\":{tid}{}}}",
+        ctx.trace.0,
+        e.ts,
+        if ph == "f" { ",\"bp\":\"e\"" } else { "" }
+    ));
+}
+
+/// Renders events as a complete Chrome trace-event JSON document:
+/// track-naming metadata first, then every event (traced events carry
+/// `trace`/`span`/`tenant` args) interleaved with request flow arrows.
 pub fn chrome_trace_json(events: &[Event]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    push_track_metadata(&mut out, events);
+    let mut seen_traces = BTreeSet::new();
     for (i, e) in events.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         push_event(&mut out, e);
+        push_flow_event(&mut out, e, &mut seen_traces);
     }
     out.push_str("]}");
     out
@@ -121,5 +196,86 @@ mod tests {
         let events = vec![Event::instant(1, "we\"ird\n", "op", Scope::GLOBAL)];
         let json = chrome_trace_json(&events);
         assert!(json.contains(r#"we\"ird\n"#), "{json}");
+    }
+
+    /// Negative escaping tests: adversarial event names and arg keys must
+    /// never produce an unbalanced quote or a raw control byte.
+    #[test]
+    fn adversarial_names_never_break_the_document() {
+        for name in [
+            "\"",
+            "\\",
+            "\\\"",
+            "a\"b\\c",
+            "\u{0}\u{1f}\u{7f}",
+            "end\"}],\"evil\":[{\"",
+            "back\\\\slash",
+        ] {
+            let events = vec![
+                Event::begin(0, name.to_string(), "batch", Scope::channel(1)),
+                Event::instant(1, name.to_string(), "command", Scope::bank(1, 0)).with_arg("k", 3),
+                Event::end(2, name.to_string(), "batch", Scope::channel(1)),
+            ];
+            let json = chrome_trace_json(&events);
+            // Outside escape sequences every quote must be structural: a
+            // raw unescaped quote from the name would leave an odd count
+            // of unescaped quotes impossible here.
+            let mut escaped = false;
+            let mut quotes = 0usize;
+            for c in json.chars() {
+                match (escaped, c) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => quotes += 1,
+                    _ => {}
+                }
+                assert!(c >= ' ', "raw control char in output for name {name:?}");
+            }
+            assert_eq!(quotes % 2, 0, "unbalanced quotes for name {name:?}: {json}");
+        }
+    }
+
+    #[test]
+    fn every_channel_gets_a_named_track() {
+        let events = vec![
+            Event::begin(0, "b", "batch", Scope::channel(0)),
+            Event::end(1, "b", "batch", Scope::channel(0)),
+            Event::instant(2, "RD", "command", Scope::bank(5, 3)),
+            Event::instant(3, "t", "mode", Scope::unit(5, 2)),
+        ];
+        let json = chrome_trace_json(&events);
+        for needle in [
+            "\"args\":{\"name\":\"channel 0\"}",
+            "\"args\":{\"name\":\"channel 5\"}",
+            "\"args\":{\"name\":\"ctrl\"}",
+            "\"args\":{\"name\":\"bank 3\"}",
+            "\"args\":{\"name\":\"unit 2\"}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn traced_request_events_chain_into_flows() {
+        use crate::trace::TraceCtx;
+        let ctx = TraceCtx::root(0x5E17, 0, 1);
+        let events = vec![
+            Event::instant(0, crate::names::REQ_ADMIT, "request", Scope::GLOBAL).with_trace(ctx),
+            Event::instant(5, crate::names::REQ_DISPATCH, "request", Scope::GLOBAL)
+                .with_trace(ctx.child(1)),
+            Event::begin(6, "pim_on", "batch", Scope::channel(2)).with_trace(ctx.child(1)),
+            Event::end(9, "pim_on", "batch", Scope::channel(2)).with_trace(ctx.child(1)),
+            Event::instant(10, crate::names::REQ_DONE, "request", Scope::GLOBAL).with_trace(ctx),
+        ];
+        let json = chrome_trace_json(&events);
+        let count = |needle: &str| json.matches(needle).count();
+        assert_eq!(count("\"cat\":\"flow\",\"ph\":\"s\""), 1, "{json}");
+        assert_eq!(count("\"cat\":\"flow\",\"ph\":\"t\""), 2, "{json}");
+        assert_eq!(count("\"cat\":\"flow\",\"ph\":\"f\""), 1, "{json}");
+        // The flow steps land on the channel track the batch ran on.
+        assert!(json.contains("\"ph\":\"t\",\"id\":"), "{json}");
+        assert!(json.contains(&format!("\"id\":{}", ctx.trace.0)));
+        assert!(json.contains(&format!("\"trace\":\"{:016x}\"", ctx.trace.0)));
+        assert!(json.contains("\"tenant\":1"));
     }
 }

@@ -1,5 +1,6 @@
 //! The structured event model: spans and instants with cycle timestamps.
 
+use crate::trace::TraceCtx;
 use std::borrow::Cow;
 
 /// A simulated-time timestamp, in DRAM controller cycles.
@@ -71,6 +72,10 @@ pub struct Event {
     /// Optional single numeric argument (e.g. a column index or stall
     /// cycles), carried into exporter output.
     pub arg: Option<(&'static str, u64)>,
+    /// Optional request-scoped trace context, joining the event back to
+    /// the owning serving-layer request and tenant. `None` for events
+    /// outside any request (or when tracing is not in use).
+    pub trace: Option<TraceCtx>,
 }
 
 impl Event {
@@ -81,7 +86,7 @@ impl Event {
         cat: &'static str,
         scope: Scope,
     ) -> Event {
-        Event { ts, kind: EventKind::Begin, name: name.into(), cat, scope, arg: None }
+        Event { ts, kind: EventKind::Begin, name: name.into(), cat, scope, arg: None, trace: None }
     }
 
     /// Creates a span-end event.
@@ -91,7 +96,7 @@ impl Event {
         cat: &'static str,
         scope: Scope,
     ) -> Event {
-        Event { ts, kind: EventKind::End, name: name.into(), cat, scope, arg: None }
+        Event { ts, kind: EventKind::End, name: name.into(), cat, scope, arg: None, trace: None }
     }
 
     /// Creates an instant event.
@@ -101,12 +106,26 @@ impl Event {
         cat: &'static str,
         scope: Scope,
     ) -> Event {
-        Event { ts, kind: EventKind::Instant, name: name.into(), cat, scope, arg: None }
+        Event {
+            ts,
+            kind: EventKind::Instant,
+            name: name.into(),
+            cat,
+            scope,
+            arg: None,
+            trace: None,
+        }
     }
 
     /// Attaches a numeric argument.
     pub fn with_arg(mut self, key: &'static str, value: u64) -> Event {
         self.arg = Some((key, value));
+        self
+    }
+
+    /// Attaches a request-scoped trace context.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Event {
+        self.trace = Some(trace);
         self
     }
 }

@@ -89,6 +89,96 @@ impl Histogram {
             .chain(std::iter::once(format!(">{}", self.bounds[self.bounds.len() - 1])))
             .zip(self.counts.iter().copied())
     }
+
+    /// The inclusive bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Raw per-bucket counts: one entry per bound, plus the overflow
+    /// bucket last.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts.
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// nearest-rank sample — an upper estimate, exact when samples sit on
+    /// bucket bounds. The overflow bucket reports the tracked exact
+    /// maximum. `None` if the histogram is empty. For exact percentiles
+    /// over retained samples use [`Quantiles`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r (1-based) with r >= q * count.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() { self.bounds[i] } else { self.max });
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Exact quantiles over a retained, sorted sample set.
+///
+/// Complements [`Histogram`] (which trades exactness for bounded memory):
+/// where a report must reproduce a percentile exactly — e.g. the serving
+/// campaign's committed p50/p99 latencies — keep the samples and use the
+/// nearest-rank definition `sorted[(len - 1) * p / 100]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    sorted: Vec<u64>,
+}
+
+impl Quantiles {
+    /// Builds from an arbitrary-order sample vector.
+    pub fn from_samples(mut samples: Vec<u64>) -> Quantiles {
+        samples.sort_unstable();
+        Quantiles { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The exact nearest-rank `p`-th percentile (`p` in `0..=100`,
+    /// clamped), defined as `sorted[(len - 1) * p / 100]`. Returns 0 when
+    /// empty, matching the serving campaign's historical convention.
+    pub fn percentile(&self, p: usize) -> u64 {
+        if self.sorted.is_empty() {
+            0
+        } else {
+            self.sorted[(self.sorted.len() - 1) * p.min(100) / 100]
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.sorted
+    }
 }
 
 /// A registry of named metrics.
@@ -251,6 +341,36 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_panic() {
         Histogram::new(&[4, 2]);
+    }
+
+    #[test]
+    fn histogram_quantile_reports_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [5, 5, 50, 50, 500, 500, 5000, 9000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(10)); // rank 1 → first bucket
+        assert_eq!(h.quantile(0.25), Some(10));
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(0.75), Some(1000));
+        // Overflow bucket reports the exact tracked maximum.
+        assert_eq!(h.quantile(1.0), Some(9000));
+    }
+
+    #[test]
+    fn quantiles_match_nearest_rank_formula() {
+        let samples = vec![9, 1, 7, 3, 5];
+        let q = Quantiles::from_samples(samples.clone());
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for p in [0, 10, 25, 50, 75, 90, 99, 100] {
+            assert_eq!(q.percentile(p), sorted[(sorted.len() - 1) * p / 100], "p{p}");
+        }
+        assert_eq!(q.min(), Some(1));
+        assert_eq!(q.max(), Some(9));
+        assert_eq!(Quantiles::from_samples(vec![]).percentile(50), 0);
+        assert!(Quantiles::from_samples(vec![]).is_empty());
     }
 
     #[test]

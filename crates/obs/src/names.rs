@@ -13,6 +13,9 @@ pub const CAT_BATCH: &str = "batch";
 pub const CAT_COMMAND: &str = "command";
 /// Category for device mode-transition instants.
 pub const CAT_MODE: &str = "mode";
+/// Category for serving-layer request-lifecycle instants (admission,
+/// dispatch, launch attempts, completion) and resilience-ladder actions.
+pub const CAT_REQUEST: &str = "request";
 
 /// Counter: column command hit an already-open row.
 pub const CTRL_ROW_HIT: &str = "ctrl.row_hit";
@@ -86,6 +89,32 @@ pub const SRV_BREAKER_CLOSES: &str = "srv.breaker_closes";
 pub const SRV_RELAYOUTS: &str = "srv.relayouts";
 /// Counter: requests computed host-side by the degradation policy.
 pub const SRV_HOST_FALLBACKS: &str = "srv.host_fallbacks";
+/// Histogram: cycles admitted requests waited in queue before dispatch.
+pub const SRV_QUEUE_WAIT: &str = "srv.queue_wait_cycles";
+/// Histogram: cycles dispatched requests spent in service (dispatch to
+/// completion, on PIM or on the host fallback path).
+pub const SRV_SERVICE: &str = "srv.service_cycles";
+/// Histogram: cycles of deadline slack remaining at completion (0 for a
+/// missed deadline).
+pub const SRV_DEADLINE_SLACK: &str = "srv.deadline_slack_cycles";
+
+/// Instant: a request was admitted into its tenant queue.
+pub const REQ_ADMIT: &str = "req.admit";
+/// Instant: the EDF dispatcher selected a request for execution.
+pub const REQ_DISPATCH: &str = "req.dispatch";
+/// Instant: a kernel launch attempt started on behalf of a request.
+pub const REQ_LAUNCH: &str = "req.launch";
+/// Instant: a request reached a terminal disposition (arg: the
+/// disposition code, see `pim_runtime::serve`).
+pub const REQ_DONE: &str = "req.done";
+/// Instant: the resilience ladder retried a kernel launch.
+pub const RES_RETRY_EVENT: &str = "res.retry";
+/// Instant: the resilience ladder quarantined a channel and re-laid-out
+/// operands over the surviving set (arg: quarantined channel count).
+pub const RES_QUARANTINE_EVENT: &str = "res.quarantine";
+/// Instant: the resilience ladder fell back to the host for result
+/// blocks PIM could not produce (arg: block count).
+pub const RES_FALLBACK_EVENT: &str = "res.host_fallback";
 
 /// Counter: cycles the host spent draining fences.
 pub const ENGINE_FENCE_STALL_CYCLES: &str = "engine.fence_stall_cycles";
@@ -100,3 +129,6 @@ pub const ENGINE_BATCH_LEN: &str = "engine.batch_len";
 pub const QUEUE_DEPTH_BUCKETS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64];
 /// Bucket upper bounds for batch-length histograms (fences every 8).
 pub const BATCH_LEN_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32];
+/// Bucket upper bounds for cycle-latency histograms (queue wait, service
+/// time, deadline slack): powers of four from 256 cycles to ~4M.
+pub const LATENCY_BUCKETS: &[u64] = &[256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304];

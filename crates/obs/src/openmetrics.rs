@@ -1,0 +1,258 @@
+//! OpenMetrics text-format export of a [`MetricsRegistry`], plus a small
+//! strict validator used by tests and CI smoke jobs.
+//!
+//! The rendered exposition follows the OpenMetrics text format: one
+//! `# TYPE` line per metric family, counter samples suffixed `_total`,
+//! histogram samples as cumulative `_bucket{le="..."}` series ending in
+//! `le="+Inf"` plus `_sum`/`_count`, and a terminal `# EOF` line. Dotted
+//! registry names (`srv.completed`) are mapped to the OpenMetrics
+//! charset and namespaced (`pim_srv_completed`). Output is byte-stable:
+//! the registry's `BTreeMap` ordering fixes the family order.
+
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Maps a registry name to a valid OpenMetrics metric name: `pim_` prefix,
+/// dots and other non-`[a-zA-Z0-9_]` bytes folded to `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("pim_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
+/// Renders the registry as an OpenMetrics text exposition.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m}_total {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, h) in registry.histograms() {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
+            cumulative += count;
+            let _ = writeln!(out, "{m}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{m}_sum {}", h.sum());
+        let _ = writeln!(out, "{m}_count {}", h.count());
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `pim_foo_bucket{le="8"} 3` into (family, suffix, le, value).
+fn parse_sample(line: &str) -> Result<(String, &'static str, Option<f64>, f64), String> {
+    let (name_labels, value) =
+        line.rsplit_once(' ').ok_or_else(|| format!("sample line without value: `{line}`"))?;
+    let value: f64 = value.parse().map_err(|_| format!("bad sample value in `{line}`"))?;
+    let (name, le) = match name_labels.split_once('{') {
+        None => (name_labels, None),
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in `{line}`"))?;
+            let mut le = None;
+            for label in labels.split(',') {
+                let (k, v) = label
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed label `{label}` in `{line}`"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value in `{line}`"))?;
+                if k == "le" {
+                    let parsed = if v == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        v.parse().map_err(|_| format!("bad le bound `{v}` in `{line}`"))?
+                    };
+                    le = Some(parsed);
+                }
+            }
+            (name, le)
+        }
+    };
+    if !valid_name(name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    for (suffix, tag) in
+        [("_total", "total"), ("_bucket", "bucket"), ("_sum", "sum"), ("_count", "count")]
+    {
+        if let Some(family) = name.strip_suffix(suffix) {
+            if valid_name(family) {
+                return Ok((family.to_string(), tag, le, value));
+            }
+        }
+    }
+    Ok((name.to_string(), "bare", le, value))
+}
+
+/// Validates an OpenMetrics text exposition; returns the first violation.
+///
+/// Checks: terminal `# EOF`; every family declared with a `# TYPE` line
+/// before its samples and declared only once; counter samples carry
+/// `_total`; histogram families expose non-decreasing cumulative
+/// `_bucket` series with strictly increasing `le` bounds ending in
+/// `+Inf`, and a `_count` equal to the `+Inf` bucket.
+pub fn validate(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    if !text.ends_with("# EOF\n") && text != "# EOF" {
+        return Err("exposition must end with `# EOF`".to_string());
+    }
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // Per histogram family: (last le, last cumulative, saw +Inf, +Inf value)
+    let mut hist: BTreeMap<String, (f64, f64, bool, f64)> = BTreeMap::new();
+    let mut saw_eof = false;
+    for line in text.lines() {
+        if saw_eof {
+            return Err(format!("content after `# EOF`: `{line}`"));
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts.next().ok_or("TYPE line without name")?;
+                    let kind = parts.next().ok_or("TYPE line without type")?;
+                    if !valid_name(name) {
+                        return Err(format!("invalid family name `{name}`"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        return Err(format!("unsupported metric type `{kind}`"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        return Err(format!("duplicate TYPE for `{name}`"));
+                    }
+                }
+                Some("HELP" | "UNIT") => {}
+                _ => return Err(format!("unrecognised comment line `{line}`")),
+            }
+            continue;
+        }
+        if line.is_empty() {
+            return Err("blank lines are not allowed".to_string());
+        }
+        let (family, suffix, le, value) = parse_sample(line)?;
+        let kind = types
+            .get(&family)
+            .ok_or_else(|| format!("sample for undeclared family `{family}`: `{line}`"))?;
+        match (kind.as_str(), suffix) {
+            ("counter", "total") | ("gauge", "bare") | ("histogram", "sum" | "count") => {}
+            ("histogram", "bucket") => {
+                let bound =
+                    le.ok_or_else(|| format!("histogram bucket without le label: `{line}`"))?;
+                let entry =
+                    hist.entry(family.clone()).or_insert((f64::NEG_INFINITY, 0.0, false, 0.0));
+                if bound <= entry.0 {
+                    return Err(format!("le bounds not increasing for `{family}`"));
+                }
+                if value < entry.1 {
+                    return Err(format!("bucket counts not cumulative for `{family}`"));
+                }
+                entry.0 = bound;
+                entry.1 = value;
+                if bound.is_infinite() {
+                    entry.2 = true;
+                    entry.3 = value;
+                }
+            }
+            _ => return Err(format!("sample `{line}` does not match declared type `{kind}`")),
+        }
+        if kind == "histogram" && suffix == "count" {
+            let entry =
+                hist.get(&family).ok_or_else(|| format!("histogram `{family}` has no buckets"))?;
+            if !entry.2 {
+                return Err(format!("histogram `{family}` missing le=\"+Inf\" bucket"));
+            }
+            if entry.3 != value {
+                return Err(format!("histogram `{family}` count != +Inf bucket"));
+            }
+        }
+    }
+    if !saw_eof {
+        return Err("missing `# EOF`".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add(names::SRV_COMPLETED, 3);
+        reg.add(names::CTRL_ROW_HIT, 17);
+        reg.set_gauge(names::BANK_OPEN_CYCLES, 1536.0);
+        reg.observe(names::SRV_QUEUE_WAIT, names::LATENCY_BUCKETS, 900);
+        reg.observe(names::SRV_QUEUE_WAIT, names::LATENCY_BUCKETS, 90_000);
+        reg.observe(names::SRV_QUEUE_WAIT, names::LATENCY_BUCKETS, 9_000_000);
+        reg
+    }
+
+    #[test]
+    fn rendered_exposition_validates_and_is_stable() {
+        let text = render(&sample_registry());
+        validate(&text).expect("self-rendered exposition must validate");
+        assert_eq!(text, render(&sample_registry()), "render must be deterministic");
+        assert!(text.contains("# TYPE pim_srv_completed counter"));
+        assert!(text.contains("pim_srv_completed_total 3"));
+        assert!(text.contains("pim_srv_queue_wait_cycles_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("pim_srv_queue_wait_cycles_count 3"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        for (broken, why) in [
+            ("pim_x_total 1\n# EOF\n", "undeclared family"),
+            ("# TYPE pim_x counter\npim_x_total 1\n", "missing EOF"),
+            ("# TYPE pim_x counter\npim_x 1\n# EOF\n", "counter without _total"),
+            ("# TYPE pim_x counter\n# TYPE pim_x counter\n# EOF\n", "duplicate TYPE"),
+            ("# TYPE pim_x counter\npim_x_total nan?\n# EOF\n", "bad value"),
+            (
+                "# TYPE pim_h histogram\npim_h_bucket{le=\"8\"} 2\npim_h_bucket{le=\"4\"} 3\n# EOF\n",
+                "le bounds must increase",
+            ),
+            (
+                "# TYPE pim_h histogram\npim_h_bucket{le=\"4\"} 3\npim_h_bucket{le=\"+Inf\"} 2\n# EOF\n",
+                "counts must be cumulative",
+            ),
+            (
+                "# TYPE pim_h histogram\npim_h_bucket{le=\"4\"} 1\npim_h_count 1\n# EOF\n",
+                "missing +Inf bucket",
+            ),
+            ("# TYPE pim_x counter\npim_x_total 1\n# EOF\nextra\n", "content after EOF"),
+        ] {
+            assert!(validate(broken).is_err(), "expected rejection: {why}");
+        }
+    }
+
+    #[test]
+    fn metric_names_are_sanitised() {
+        assert_eq!(metric_name("srv.queue_wait_cycles"), "pim_srv_queue_wait_cycles");
+        assert_eq!(metric_name("weird name!"), "pim_weird_name_");
+    }
+}

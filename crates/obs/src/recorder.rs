@@ -3,6 +3,7 @@
 use crate::event::{Cycle, Event, Scope};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::sink::{CountingSink, EventSink, RingSink, Sink, VecSink};
+use crate::trace::TraceCtx;
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -10,6 +11,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 struct Inner {
     sink: Sink,
     metrics: MetricsRegistry,
+    /// Ambient trace context stamped onto every emitted event that does
+    /// not already carry one (see [`Recorder::set_trace`]).
+    trace: Option<TraceCtx>,
 }
 
 /// A shared handle to one event sink plus one metrics registry.
@@ -33,7 +37,13 @@ pub struct Recorder {
 impl Recorder {
     /// Creates a recorder over an arbitrary sink.
     pub fn new(sink: Sink) -> Recorder {
-        Recorder { inner: Arc::new(Mutex::new(Inner { sink, metrics: MetricsRegistry::new() })) }
+        Recorder {
+            inner: Arc::new(Mutex::new(Inner {
+                sink,
+                metrics: MetricsRegistry::new(),
+                trace: None,
+            })),
+        }
     }
 
     /// Locks the shared state. A poisoned lock means an instrumented worker
@@ -97,9 +107,31 @@ impl Recorder {
         self.emit(Event::instant(ts, name, cat, scope));
     }
 
-    /// Emits a pre-built event.
+    /// Emits a pre-built event. If an ambient trace context is set
+    /// ([`Recorder::set_trace`]) and the event carries none of its own,
+    /// the ambient context is stamped onto it.
     pub fn emit(&self, event: Event) {
-        self.lock().sink.record(&event);
+        let mut inner = self.lock();
+        let event = match (event.trace, inner.trace) {
+            (None, Some(ctx)) => event.with_trace(ctx),
+            _ => event,
+        };
+        inner.sink.record(&event);
+    }
+
+    /// Sets (or clears, with `None`) the ambient trace context. The
+    /// serving layer sets this around each request's execution so that
+    /// every event the engine, controller, and device emit on the
+    /// request's behalf is joined to it — including events recorded
+    /// through per-channel buffer recorders, which inherit the ambient
+    /// context at detach time (see `pim-host`'s parallel backend).
+    pub fn set_trace(&self, trace: Option<TraceCtx>) {
+        self.lock().trace = trace;
+    }
+
+    /// The current ambient trace context, if any.
+    pub fn trace(&self) -> Option<TraceCtx> {
+        self.lock().trace
     }
 
     /// Adds to a named counter.
@@ -289,6 +321,43 @@ mod tests {
         // Self-merge is a no-op, not a deadlock or duplication.
         main.merge_from(&main.clone());
         assert_eq!(main.events().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn ambient_trace_stamps_events_without_overriding_explicit_ones() {
+        use crate::trace::TraceCtx;
+        let r = Recorder::vec();
+        let ambient = TraceCtx::root(1, 0, 7);
+        let explicit = TraceCtx::root(2, 0, 9);
+        r.instant(0, "before", "command", Scope::GLOBAL);
+        r.set_trace(Some(ambient));
+        assert_eq!(r.trace(), Some(ambient));
+        r.instant(1, "stamped", "command", Scope::GLOBAL);
+        r.emit(Event::instant(2, "kept", "command", Scope::GLOBAL).with_trace(explicit));
+        r.set_trace(None);
+        r.instant(3, "after", "command", Scope::GLOBAL);
+        let events = r.events().unwrap();
+        assert_eq!(events[0].trace, None);
+        assert_eq!(events[1].trace, Some(ambient));
+        assert_eq!(events[2].trace, Some(explicit));
+        assert_eq!(events[3].trace, None);
+    }
+
+    #[test]
+    fn merge_from_preserves_buffer_trace_stamps_verbatim() {
+        use crate::trace::TraceCtx;
+        let main = Recorder::vec();
+        // Ambient trace on the *main* recorder must not restamp merged
+        // events: the buffer already resolved its own ambient context.
+        main.set_trace(Some(TraceCtx::root(9, 9, 9)));
+        let buf = Recorder::vec();
+        let ctx = TraceCtx::root(1, 4, 2);
+        buf.set_trace(Some(ctx));
+        buf.instant(5, "traced", "command", Scope::channel(3));
+        main.merge_from(&buf);
+        let events = main.events().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace, Some(ctx));
     }
 
     #[test]

@@ -123,7 +123,8 @@ impl EventSink for CountingSink {
 
 /// Streams events to a file as line-delimited text, one event per line.
 ///
-/// Format: `cycle kind cat name [ch=N] [unit=N] [bank=N] [key=value]`.
+/// Format: `cycle kind cat name [ch=N] [unit=N] [bank=N] [key=value]
+/// [trace=HEX span=HEX tenant=N]`.
 /// Buffered; call [`FileSink::flush`] (or drop the recorder) to ensure all
 /// lines hit the disk.
 pub struct FileSink {
@@ -180,6 +181,12 @@ impl EventSink for FileSink {
         }
         if let Some((k, v)) = event.arg {
             line.push_str(&format!(" {k}={v}"));
+        }
+        if let Some(ctx) = event.trace {
+            line.push_str(&format!(
+                " trace={:016x} span={:016x} tenant={}",
+                ctx.trace.0, ctx.span.0, ctx.tenant
+            ));
         }
         // I/O errors are swallowed: a broken trace file must not alter
         // simulation behaviour.
@@ -289,11 +296,13 @@ mod tests {
             let mut s = FileSink::create(&path).unwrap();
             s.record(&ev(1).with_arg("col", 3));
             s.record(&Event::begin(2, "gemv", "op", Scope::unit(1, 2)));
+            s.record(&ev(3).with_trace(crate::trace::TraceCtx::root(0, 0, 5)));
             s.flush().unwrap();
         }
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("1 I command x col=3"), "{text}");
         assert!(text.contains("2 B op gemv ch=1 unit=2"), "{text}");
+        assert!(text.contains("3 I command x trace=") && text.contains(" tenant=5"), "{text}");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -63,5 +63,5 @@ pub use resilience::{resilient_add, FallbackReason, ResilienceConfig, Resilience
 pub use script::{ScriptError, ScriptSession};
 pub use serve::{
     Disposition, RejectReason, RequestOutcome, ServeConfig, ServeOp, ServeReport, ServeRequest,
-    ServeStats, Server,
+    ServeStats, Server, TenantSlo,
 };

@@ -44,7 +44,7 @@ use pim_dram::ecc::{self, EccWord};
 use pim_dram::BankAddr;
 use pim_fp16::F16;
 use pim_host::{Batch, BypassPolicy, KernelEngine, Llc};
-use pim_obs::names;
+use pim_obs::{names, Event, Scope};
 
 /// Knobs of the recovery ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -369,6 +369,17 @@ pub fn resilient_add(
             if attempt < cfg.max_retries {
                 attempt += 1;
                 rep.retries += 1;
+                if let Some(r) = &ctx.recorder {
+                    r.emit(
+                        Event::instant(
+                            ctx.sys.max_now(),
+                            names::RES_RETRY_EVENT,
+                            names::CAT_REQUEST,
+                            Scope::GLOBAL,
+                        )
+                        .with_arg("attempt", attempt as u64),
+                    );
+                }
                 // Bounded exponential backoff before the retry: the host
                 // idles, every channel's clock advances.
                 let pause = cfg.backoff_cycles << (attempt - 1).min(8);
@@ -385,6 +396,20 @@ pub fn resilient_add(
             suspects.sort_unstable();
             suspects.dedup();
             healthy.retain(|ch| !suspects.contains(ch));
+            if let Some(r) = &ctx.recorder {
+                let now = ctx.sys.max_now();
+                for &ch in &suspects {
+                    r.emit(
+                        Event::instant(
+                            now,
+                            names::RES_QUARANTINE_EVENT,
+                            names::CAT_REQUEST,
+                            Scope::GLOBAL,
+                        )
+                        .with_arg("channel", ch as u64),
+                    );
+                }
+            }
             rep.quarantined.extend(suspects);
             continue 'ladder;
         }
@@ -400,6 +425,17 @@ pub fn resilient_add(
     } else {
         FallbackReason::QuarantineBudgetExceeded
     });
+    if let Some(r) = &ctx.recorder {
+        r.emit(
+            Event::instant(
+                ctx.sys.max_now(),
+                names::RES_FALLBACK_EVENT,
+                names::CAT_REQUEST,
+                Scope::GLOBAL,
+            )
+            .with_arg("blocks", bad_blocks.len() as u64),
+        );
+    }
     if cfg.host_fallback {
         let region_bytes = (nblocks as u64) * 2 * 32;
         let policy = BypassPolicy::new(1 << 40, region_bytes)

@@ -43,6 +43,22 @@
 //!
 //! Every action is counted under the `srv.*` names of [`pim_obs::names`]
 //! when profiling is enabled, and mirrored in [`ServeStats`] regardless.
+//!
+//! # Request-scoped tracing
+//!
+//! When profiling is enabled, every request is minted a deterministic
+//! [`TraceCtx`] at admission (splitmix64 over the server seed and the
+//! submission id — never a wall clock) and its lifecycle is emitted as
+//! `request`-category instants: `req.admit`, `req.dispatch`, one
+//! `req.launch` per PIM attempt, and `req.done` carrying the disposition
+//! code ([`Disposition::code`]). While a request executes, its context is
+//! installed as the recorder's *ambient trace*, so every event the
+//! engine, controller, and device emit on the request's behalf — down to
+//! per-bank command instants — is stamped with the owning trace id and
+//! tenant, under every execution backend identically. The trace id is
+//! also echoed on [`RequestOutcome::trace`] for joining reports to event
+//! streams, and per-tenant SLO histograms (queue wait, service time,
+//! deadline slack) accumulate in [`ServeReport::slo`].
 
 use crate::blas::PimError;
 use crate::context::PimContext;
@@ -54,16 +70,14 @@ use pim_core::PimVariant;
 use pim_dram::Cycle;
 use pim_fp16::F16;
 use pim_host::{Batch, KernelEngine, KernelResult};
-use pim_obs::names;
+use pim_obs::{names, Event, Histogram, Scope, TraceCtx, TraceId};
 use std::collections::{BTreeMap, VecDeque};
 
-/// SplitMix64 finalizer for seeded tie-breaks (same mixing core as
-/// `pim-faults`; decisions must not depend on ambient state).
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// SplitMix64 finalizer for seeded tie-breaks (the shared mixing core,
+/// re-exported from pim-obs so trace ids and tie-breaks agree; decisions
+/// must not depend on ambient state).
+fn mix(z: u64) -> u64 {
+    pim_obs::trace::mix(z)
 }
 
 /// Knobs of the serving layer.
@@ -213,6 +227,21 @@ pub enum Disposition {
     FellBackToHost,
 }
 
+impl Disposition {
+    /// Stable numeric code, carried as the `req.done` trace event's
+    /// argument: 0 completed, 1 shed (queue full), 2 shed (overloaded),
+    /// 3 deadline missed, 4 fell back to host.
+    pub fn code(&self) -> u64 {
+        match self {
+            Disposition::Completed => 0,
+            Disposition::Shed(RejectReason::QueueFull) => 1,
+            Disposition::Shed(RejectReason::Overloaded) => 2,
+            Disposition::DeadlineMissed => 3,
+            Disposition::FellBackToHost => 4,
+        }
+    }
+}
+
 /// The record of one request's journey through the scheduler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestOutcome {
@@ -230,6 +259,9 @@ pub struct RequestOutcome {
     pub disposition: Disposition,
     /// The result vector for `Completed` and `FellBackToHost`.
     pub result: Option<Vec<f32>>,
+    /// The request's deterministic trace id ([`TraceId::mint`] over the
+    /// server seed and `id`) — the join key into recorded event streams.
+    pub trace: TraceId,
 }
 
 /// Counters mirroring the `srv.*` observability names.
@@ -261,6 +293,32 @@ pub struct ServeStats {
     pub host_fallbacks: u64,
 }
 
+/// Per-tenant SLO histograms, accumulated over one [`Server::run`] call.
+///
+/// Lives on [`ServeReport`] rather than [`ServeStats`] (which stays a
+/// `Copy` bundle of plain counters). All three use
+/// [`names::LATENCY_BUCKETS`] bounds, so they merge and export cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSlo {
+    /// Cycles from arrival to dispatch (or to expiry, for requests that
+    /// died in queue).
+    pub queue_wait: Histogram,
+    /// Cycles from dispatch to completion; only requests that started.
+    pub service: Histogram,
+    /// Deadline slack remaining at completion; 0 for a miss.
+    pub deadline_slack: Histogram,
+}
+
+impl Default for TenantSlo {
+    fn default() -> TenantSlo {
+        TenantSlo {
+            queue_wait: Histogram::new(names::LATENCY_BUCKETS),
+            service: Histogram::new(names::LATENCY_BUCKETS),
+            deadline_slack: Histogram::new(names::LATENCY_BUCKETS),
+        }
+    }
+}
+
 /// What one [`Server::run`] call did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -268,6 +326,9 @@ pub struct ServeReport {
     pub outcomes: Vec<RequestOutcome>,
     /// Counter totals for this run.
     pub stats: ServeStats,
+    /// Per-tenant SLO histograms for this run (shed requests excluded —
+    /// they never occupied the system).
+    pub slo: BTreeMap<u32, TenantSlo>,
     /// Sim cycle at which the trace drained.
     pub end_cycle: Cycle,
 }
@@ -360,6 +421,9 @@ pub struct Server<'a> {
     breakers: Vec<Breaker>,
     queues: BTreeMap<u32, VecDeque<Queued>>,
     stats: ServeStats,
+    /// Per-tenant SLO histograms for the run in progress (drained into
+    /// [`ServeReport::slo`] at the end of each [`Server::run`]).
+    slo: BTreeMap<u32, TenantSlo>,
     /// Cost model: observed cycles per 1000 elements (EWMA, integer).
     cpe_milli: u64,
 }
@@ -379,6 +443,7 @@ impl<'a> Server<'a> {
             breakers: vec![Breaker::new(); groups],
             queues: BTreeMap::new(),
             stats: ServeStats::default(),
+            slo: BTreeMap::new(),
             cpe_milli,
         }
     }
@@ -476,9 +541,22 @@ impl<'a> Server<'a> {
                 self.stats.submitted += 1;
                 let n = req.op.operands().0.len();
                 let est = self.est_service_cycles(n);
+                let trace = TraceCtx::root(self.cfg.seed, id as u64, req.tenant);
                 match self.admission(req.tenant, est) {
                     Ok(()) => {
                         self.stats.admitted += 1;
+                        if let Some(r) = &self.ctx.recorder {
+                            r.emit(
+                                Event::instant(
+                                    now,
+                                    names::REQ_ADMIT,
+                                    names::CAT_REQUEST,
+                                    Scope::GLOBAL,
+                                )
+                                .with_arg("id", id as u64)
+                                .with_trace(trace),
+                            );
+                        }
                         self.queues.entry(req.tenant).or_default().push_back(Queued {
                             id,
                             req,
@@ -490,26 +568,51 @@ impl<'a> Server<'a> {
                             RejectReason::QueueFull => self.stats.shed_queue_full += 1,
                             RejectReason::Overloaded => self.stats.shed_overloaded += 1,
                         }
+                        let disposition = Disposition::Shed(reason);
+                        if let Some(r) = &self.ctx.recorder {
+                            r.emit(
+                                Event::instant(
+                                    now,
+                                    names::REQ_DONE,
+                                    names::CAT_REQUEST,
+                                    Scope::GLOBAL,
+                                )
+                                .with_arg("disposition", disposition.code())
+                                .with_trace(trace),
+                            );
+                        }
                         outcomes[id] = Some(RequestOutcome {
                             id,
                             tenant: req.tenant,
                             arrival: req.arrival,
                             started: None,
                             finished: now,
-                            disposition: Disposition::Shed(reason),
+                            disposition,
                             result: None,
+                            trace: trace.trace,
                         });
                     }
                 }
             }
 
             // 2. Purge queued requests whose deadline already passed.
+            let mut purged: Vec<(u32, u64)> = Vec::new();
+            let seed = self.cfg.seed;
             for queue in self.queues.values_mut() {
                 queue.retain(|q| {
                     if q.req.deadline > now {
                         return true;
                     }
                     self.stats.deadline_missed += 1;
+                    let trace = TraceCtx::root(seed, q.id as u64, q.req.tenant);
+                    if let Some(r) = &self.ctx.recorder {
+                        r.emit(
+                            Event::instant(now, names::REQ_DONE, names::CAT_REQUEST, Scope::GLOBAL)
+                                .with_arg("disposition", Disposition::DeadlineMissed.code())
+                                .with_trace(trace),
+                        );
+                    }
+                    purged.push((q.req.tenant, now.saturating_sub(q.req.arrival)));
                     outcomes[q.id] = Some(RequestOutcome {
                         id: q.id,
                         tenant: q.req.tenant,
@@ -518,9 +621,13 @@ impl<'a> Server<'a> {
                         finished: now,
                         disposition: Disposition::DeadlineMissed,
                         result: None,
+                        trace: trace.trace,
                     });
                     false
                 });
+            }
+            for (tenant, wait) in purged {
+                self.note_slo(tenant, wait, None, 0);
             }
 
             // 3. Dispatch: earliest deadline among the queue heads (FIFO
@@ -539,7 +646,18 @@ impl<'a> Server<'a> {
                         .get_mut(&tenant)
                         .and_then(VecDeque::pop_front)
                         .unwrap_or_else(|| unreachable!("head vanished"));
+                    let deadline = queued.req.deadline;
+                    let arrival = queued.req.arrival;
                     let outcome = self.execute(queued)?;
+                    if let Some(started) = outcome.started {
+                        let wait = started.saturating_sub(arrival);
+                        let service = outcome.finished.saturating_sub(started);
+                        let slack = match outcome.disposition {
+                            Disposition::DeadlineMissed => 0,
+                            _ => deadline.saturating_sub(outcome.finished),
+                        };
+                        self.note_slo(tenant, wait, Some(service), slack);
+                    }
                     let id = outcome.id;
                     outcomes[id] = Some(outcome);
                 }
@@ -564,11 +682,50 @@ impl<'a> Server<'a> {
             .enumerate()
             .map(|(id, o)| o.unwrap_or_else(|| panic!("request {id} never resolved")))
             .collect();
-        Ok(ServeReport { outcomes, stats: delta(&self.stats, &stats_before), end_cycle })
+        Ok(ServeReport {
+            outcomes,
+            stats: delta(&self.stats, &stats_before),
+            end_cycle,
+            slo: std::mem::take(&mut self.slo),
+        })
     }
 
-    /// Executes one admitted request through the degradation ladder.
+    /// Executes one admitted request, wrapping the degradation ladder in a
+    /// request-scoped trace: `req.dispatch`/`req.done` instants bracket the
+    /// execution, and the request's [`TraceCtx`] is installed as the
+    /// recorder's ambient trace for its duration so every device- and
+    /// controller-level event joins back to this request and tenant.
     fn execute(&mut self, q: Queued) -> Result<RequestOutcome, PimError> {
+        let trace = TraceCtx::root(self.cfg.seed, q.id as u64, q.req.tenant);
+        if let Some(r) = &self.ctx.recorder {
+            r.emit(
+                Event::instant(
+                    self.ctx.sys.max_now(),
+                    names::REQ_DISPATCH,
+                    names::CAT_REQUEST,
+                    Scope::GLOBAL,
+                )
+                .with_arg("id", q.id as u64)
+                .with_trace(trace),
+            );
+            r.set_trace(Some(trace));
+        }
+        let result = self.execute_inner(q, trace);
+        if let Some(r) = &self.ctx.recorder {
+            r.set_trace(None);
+            if let Ok(o) = &result {
+                r.emit(
+                    Event::instant(o.finished, names::REQ_DONE, names::CAT_REQUEST, Scope::GLOBAL)
+                        .with_arg("disposition", o.disposition.code())
+                        .with_trace(trace),
+                );
+            }
+        }
+        result
+    }
+
+    /// The degradation ladder itself (PIM attempts, then host fallback).
+    fn execute_inner(&mut self, q: Queued, trace: TraceCtx) -> Result<RequestOutcome, PimError> {
         let Queued { id, req, .. } = q;
         let started = self.ctx.sys.max_now();
         let n = req.op.operands().0.len();
@@ -582,6 +739,7 @@ impl<'a> Server<'a> {
             finished,
             disposition,
             result,
+            trace: trace.trace,
         };
 
         // Candidate groups: the request's affinity, intersected with the
@@ -602,7 +760,7 @@ impl<'a> Server<'a> {
         let prefer_host = !pim_viable || (est_pim > slack && est_host <= slack);
 
         if !prefer_host {
-            match self.run_on_pim(&req, &candidates, &oracle)? {
+            match self.run_on_pim(&req, &candidates, &oracle, trace)? {
                 PimAttempt::Done { finished, result, cycles } => {
                     self.observe_cost(cycles, n);
                     return Ok(if finished > req.deadline {
@@ -645,6 +803,7 @@ impl<'a> Server<'a> {
         req: &ServeRequest,
         candidates: &[usize],
         oracle: &[f32],
+        trace: TraceCtx,
     ) -> Result<PimAttempt, PimError> {
         let (x, y) = req.op.operands();
         let op = req.op.stream_op();
@@ -722,8 +881,22 @@ impl<'a> Server<'a> {
             let deadline_capped = req.deadline <= now.saturating_add(budget);
             let limit = req.deadline.min(now.saturating_add(budget));
             let start = now;
+            // Each PIM attempt runs under a child span so retries after a
+            // re-layout are distinguishable in the trace.
+            let attempt_ctx = trace.child(attempt as u64 + 1);
+            if let Some(r) = &self.ctx.recorder {
+                r.emit(
+                    Event::instant(start, names::REQ_LAUNCH, names::CAT_REQUEST, Scope::GLOBAL)
+                        .with_arg("attempt", attempt as u64 + 1)
+                        .with_trace(attempt_ctx),
+                );
+                r.set_trace(Some(attempt_ctx));
+            }
             let (result, cancelled) =
                 self.launch_bounded(&channels, &program, &data, Some(limit))?;
+            if let Some(r) = &self.ctx.recorder {
+                r.set_trace(Some(trace));
+            }
 
             let fail = |server: &mut Server, groups: &[usize]| {
                 let at = server.ctx.sys.max_now();
@@ -812,6 +985,27 @@ impl<'a> Server<'a> {
             .map(|ch| if channels.contains(&ch) { full.clone() } else { Vec::new() })
             .collect();
         Ok(KernelEngine::run_system_bounded(&mut self.ctx.sys, &per_channel, self.ctx.mode, limit))
+    }
+
+    /// Records one request's SLO observations: queue wait always, service
+    /// time when the request actually started, and deadline slack (0 for a
+    /// miss). Mirrored into the context recorder's histograms so the
+    /// OpenMetrics export carries the same distributions as
+    /// [`ServeReport::slo`].
+    fn note_slo(&mut self, tenant: u32, wait: Cycle, service: Option<Cycle>, slack: Cycle) {
+        let slo = self.slo.entry(tenant).or_default();
+        slo.queue_wait.record(wait);
+        if let Some(s) = service {
+            slo.service.record(s);
+        }
+        slo.deadline_slack.record(slack);
+        if let Some(r) = &self.ctx.recorder {
+            r.observe(names::SRV_QUEUE_WAIT, names::LATENCY_BUCKETS, wait);
+            if let Some(s) = service {
+                r.observe(names::SRV_SERVICE, names::LATENCY_BUCKETS, s);
+            }
+            r.observe(names::SRV_DEADLINE_SLACK, names::LATENCY_BUCKETS, slack);
+        }
     }
 
     /// Publishes this run's counter deltas to the context recorder.

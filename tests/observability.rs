@@ -101,6 +101,71 @@ fn instrumentation_has_zero_observer_effect() {
     assert_eq!(plain.sys.max_now(), recorded.sys.max_now());
 }
 
+/// The registry table in `docs/OBSERVABILITY.md` must cover every dotted
+/// name constant in `pim_obs::names` — the doc is asserted against the
+/// source so it cannot silently rot.
+#[test]
+fn docs_registry_table_covers_every_name_constant() {
+    let src = include_str!("../crates/obs/src/names.rs");
+    let doc = include_str!("../docs/OBSERVABILITY.md");
+
+    // Collect the string value of every `pub const NAME: &str = "...";`
+    // whose value is a dotted metric/event name.
+    let mut names: Vec<&str> = Vec::new();
+    for line in src.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("pub const ") else { continue };
+        let Some((_, value)) = rest.split_once('=') else { continue };
+        let value = value.trim().trim_end_matches(';').trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            continue;
+        };
+        if value.contains('.') {
+            names.push(value);
+        }
+    }
+    assert!(names.len() >= 30, "expected a full registry, found {} names", names.len());
+
+    // Each name must appear as `name` inside a markdown table row.
+    let table_rows: Vec<&str> =
+        doc.lines().filter(|l| l.starts_with('|') && l.contains('`')).collect();
+    for name in names {
+        let needle = format!("`{name}`");
+        assert!(
+            table_rows.iter().any(|row| row.contains(&needle)),
+            "`{name}` (pim_obs::names) is missing from the registry table in docs/OBSERVABILITY.md"
+        );
+    }
+}
+
+/// Adversarially-named events must round-trip the Chrome exporter into
+/// syntactically valid JSON (escaping audit for quotes, backslashes, and
+/// control characters — with trace args in play).
+#[test]
+fn chrome_export_survives_adversarial_names_and_trace_args() {
+    use pim_obs::{Event, Scope, TraceCtx};
+    let nasty = [
+        "quote\"inside",
+        "back\\slash",
+        "new\nline",
+        "tab\tchar",
+        "\u{1}control",
+        "unicode≠ascii",
+        "}]\",\"pwn\":\"",
+    ];
+    let mut events = Vec::new();
+    for (i, name) in nasty.iter().enumerate() {
+        let ts = i as u64 * 10;
+        events.push(Event::begin(ts, name.to_string(), names::CAT_BATCH, Scope::channel(1)));
+        events.push(
+            Event::instant(ts + 1, name.to_string(), names::CAT_REQUEST, Scope::channel(1))
+                .with_trace(TraceCtx::root(7, i as u64, 2)),
+        );
+        events.push(Event::end(ts + 2, name.to_string(), names::CAT_BATCH, Scope::channel(1)));
+    }
+    let json = pim_obs::chrome::chrome_trace_json(&events);
+    check_json_syntax(&json).expect("adversarial names must stay valid JSON");
+}
+
 /// A minimal recursive-descent JSON syntax checker — enough to validate the
 /// exporter's output without pulling in a JSON dependency.
 fn check_json_syntax(s: &str) -> Result<(), String> {
